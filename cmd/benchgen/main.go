@@ -1,0 +1,72 @@
+// Command benchgen writes the synthetic MCNC-stand-in benchmark netlists to
+// disk in the native .net format.
+//
+// Usage:
+//
+//	benchgen -out bench/            # all profiles
+//	benchgen -out bench/ -design s1 # one profile
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/netgen"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory")
+		design = flag.String("design", "", "single design to emit (default: all)")
+		list   = flag.Bool("list", false, "list available designs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range repro.Benchmarks() {
+			p, _ := netgen.Profile(name)
+			fmt.Printf("%-8s %4d cells (%d in, %d out, %d ff, %d comb)\n",
+				name, p.TotalCells(), p.Inputs, p.Outputs, p.Seq, p.Comb)
+		}
+		return
+	}
+
+	names := repro.Benchmarks()
+	if *design != "" {
+		names = []string{*design}
+	}
+	if err := emit(*out, names); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(dir string, names []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		nl, err := repro.GenerateBenchmark(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".net")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := repro.SaveNetlist(f, nl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells, %d nets)\n", path, nl.NumCells(), nl.NumNets())
+	}
+	return nil
+}

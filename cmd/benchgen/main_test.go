@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestEmitAllAndReparse(t *testing.T) {
+	dir := t.TempDir()
+	if err := emit(dir, []string{"tiny", "cse"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tiny", "cse"} {
+		path := filepath.Join(dir, name+".net")
+		nl, err := repro.LoadNetlist(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := repro.GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nl.NumCells() != want.NumCells() || nl.NumNets() != want.NumNets() {
+			t.Errorf("%s: emitted file does not match generator", name)
+		}
+	}
+}
+
+func TestEmitUnknownDesign(t *testing.T) {
+	if err := emit(t.TempDir(), []string{"nonesuch"}); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestEmitBadDir(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(filepath.Join(blocker, "sub"), []string{"tiny"}); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command fpgapr places and routes a netlist onto a row-based FPGA with
+// either the simultaneous (paper) or sequential (baseline) flow.
+//
+// Usage:
+//
+//	fpgapr -design s1 -flow sim
+//	fpgapr -netlist mydesign.net -flow seq -tracks 24 -seed 7
+//
+// The netlist comes from -netlist (a .net or .blif file) or -design (a named
+// synthetic benchmark). The tool prints a layout summary and, when the
+// layout routes completely, the independent timing verification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "netlist file (.net or .blif)")
+		design      = flag.String("design", "", "named synthetic benchmark (s1, cse, ex1, bw, s1a, big529, tiny)")
+		flow        = flag.String("flow", "sim", "layout flow: sim (simultaneous) or seq (sequential)")
+		tracks      = flag.Int("tracks", 28, "tracks per channel")
+		seed        = flag.Int64("seed", 1, "random seed")
+		effortFlag  = flag.Int("effort", 8, "annealing moves per cell per temperature")
+		maxTemps    = flag.Int("maxtemps", 120, "annealing temperature cap")
+		wirability  = flag.Bool("wirability-only", false, "simultaneous flow: optimize routability only (no timing term)")
+		renderOut   = flag.Bool("render", false, "print an ASCII rendering of the finished layout")
+		maxFanin    = flag.Int("maxfanin", 0, "technology-map the netlist to this module fanin first (0 = netlist must already be legal)")
+	)
+	flag.Parse()
+
+	if err := run(*netlistPath, *design, *flow, *tracks, *seed, *effortFlag, *maxTemps, *wirability, *renderOut, *maxFanin); err != nil {
+		fmt.Fprintln(os.Stderr, "fpgapr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTemps int, wirability, renderOut bool, maxFanin int) error {
+	var (
+		nl  *repro.Netlist
+		err error
+	)
+	switch {
+	case netlistPath != "" && design != "":
+		return fmt.Errorf("give either -netlist or -design, not both")
+	case netlistPath != "":
+		nl, err = repro.LoadNetlist(netlistPath)
+	case design != "":
+		nl, err = repro.GenerateBenchmark(design)
+	default:
+		return fmt.Errorf("need -netlist FILE or -design NAME (available: %v)", repro.Benchmarks())
+	}
+	if err != nil {
+		return err
+	}
+	if err := nl.Validate(); err != nil {
+		return err
+	}
+	if maxFanin > 0 {
+		mapped, st, err := repro.TechMap(nl, maxFanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("technology mapping to %d-input modules: %d -> %d cells (depth %d -> %d)\n",
+			maxFanin, st.CellsIn, st.CellsOut, st.DepthIn, st.DepthOut)
+		nl = mapped
+	}
+
+	a, err := repro.ArchFor(nl, tracks)
+	if err != nil {
+		return err
+	}
+
+	var lay *repro.Layout
+	switch flow {
+	case "sim":
+		lay, err = repro.Simultaneous(a, nl, repro.SimConfig{
+			Seed:          seed,
+			MovesPerCell:  effort,
+			MaxTemps:      maxTemps,
+			DisableTiming: wirability,
+		})
+	case "seq":
+		cfg := repro.SeqConfig{Seed: seed}
+		cfg.Place.MovesPerCell = effort
+		cfg.Place.MaxTemps = maxTemps
+		lay, err = repro.Sequential(a, nl, cfg)
+	default:
+		return fmt.Errorf("unknown -flow %q (want sim or seq)", flow)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := lay.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	if lay.FullyRouted {
+		wcd, agreement, err := lay.VerifyTiming()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("independent timing check: %.2f ns (in-loop/independent agreement %.3f)\n",
+			wcd/1000, agreement)
+	}
+	if renderOut {
+		fmt.Print(repro.RenderASCII(lay))
+	}
+	return nil
+}

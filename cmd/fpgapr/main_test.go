@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSimOnTiny(t *testing.T) {
+	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeqOnTiny(t *testing.T) {
+	if err := run("", "tiny", "seq", 20, 1, 5, 40, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWirabilityOnlyAndRender(t *testing.T) {
+	if err := run("", "tiny", "sim", 20, 1, 5, 40, true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromNetlistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.blif")
+	blif := ".model d\n.inputs a b\n.outputs f g\n.names a b x\n11 1\n.names x f\n1 1\n.latch x g re clk 0\n.end\n"
+	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+		want string
+	}{
+		{"both sources", func() error { return run("x.net", "tiny", "sim", 20, 1, 5, 40, false, false, 0) }, "not both"},
+		{"no source", func() error { return run("", "", "sim", 20, 1, 5, 40, false, false, 0) }, "need -netlist"},
+		{"bad flow", func() error { return run("", "tiny", "diagonal", 20, 1, 5, 40, false, false, 0) }, "unknown -flow"},
+		{"bad design", func() error { return run("", "nonesuch", "sim", 20, 1, 5, 40, false, false, 0) }, "unknown design"},
+	}
+	for _, tc := range cases {
+		err := tc.f()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunWithTechMapping(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wide.blif")
+	// A 7-input gate: illegal for 4-input modules until mapped.
+	blif := ".model wide\n.inputs a b c d e f g\n.outputs y\n.names a b c d e f g y\n1111111 1\n.end\n"
+	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+func tinyEffort() exper.Effort {
+	return exper.Effort{Name: "test", PlaceMovesPerCell: 4, PlaceMaxTemps: 30,
+		CoreMovesPerCell: 4, CoreMaxTemps: 30, RouteAttempts: 2}
+}
+
+func TestRunFigure6AndRuntime(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "fig6.csv")
+	if err := run(false, false, true, false, true, tinyEffort(), 1, "tiny", csv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	// Table 1 on the paper designs is too heavy for a unit test; exercise the
+	// code path through the runtime-ratio branch plus figure6 above. Here we
+	// only confirm run() propagates errors for an unknown design.
+	if err := run(false, false, true, false, false, tinyEffort(), 1, "nonesuch", ""); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// mintracks reproduces the paper's Table-2 experiment on one design: it
+// reduces the tracks-per-channel budget step by step and reports, for each
+// flow, whether 100% wirability is still achievable — locating the minimum
+// channel capacity each approach needs.
+//
+//	go run ./examples/mintracks                 # the "tiny" benchmark
+//	go run ./examples/mintracks -design bw -from 26 -to 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	design := flag.String("design", "tiny", "benchmark name")
+	from := flag.Int("from", 14, "starting (largest) track count")
+	to := flag.Int("to", 4, "final (smallest) track count")
+	effort := flag.Int("effort", 8, "annealing moves per cell per temperature")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	nl, err := repro.GenerateBenchmark(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s (%d cells): sweeping tracks/channel %d -> %d\n\n",
+		*design, nl.NumCells(), *from, *to)
+	fmt.Println("tracks  sequential     simultaneous")
+	fmt.Println("------  -------------  -------------")
+
+	seqMin, simMin := 0, 0
+	for tracks := *from; tracks >= *to; tracks-- {
+		a, err := repro.ArchFor(nl, tracks)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		seqCfg := repro.SeqConfig{Seed: *seed}
+		seqCfg.Place.MovesPerCell = *effort
+		seqLay, err := repro.Sequential(a, nl, seqCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Wirability-only mode: the Table-2 sweep optimizes routability alone.
+		simLay, err := repro.Simultaneous(a, nl, repro.SimConfig{
+			Seed: *seed, MovesPerCell: *effort, MaxTemps: 120, DisableTiming: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %-13s  %-13s\n", tracks, status(seqLay), status(simLay))
+		if seqLay.FullyRouted && (seqMin == 0 || tracks < seqMin) {
+			seqMin = tracks
+		}
+		if simLay.FullyRouted && (simMin == 0 || tracks < simMin) {
+			simMin = tracks
+		}
+	}
+
+	fmt.Printf("\nminimum observed: sequential %d, simultaneous %d", seqMin, simMin)
+	if seqMin > 0 && simMin > 0 && simMin < seqMin {
+		fmt.Printf(" (%.0f%% fewer tracks; paper's Table 2 reports 20-33%%)", 100*float64(seqMin-simMin)/float64(seqMin))
+	}
+	fmt.Println()
+}
+
+func status(lay *repro.Layout) string {
+	if lay.FullyRouted {
+		return "routed"
+	}
+	return fmt.Sprintf("%d unrouted", lay.Unrouted)
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a small benchmark, run the paper's simultaneous
+// place-and-route on it, and print the layout summary plus the independent
+// timing verification.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// A 30-cell synthetic design (use "s1" ... "big529" for the paper's
+	// benchmarks).
+	nl, err := repro.GenerateBenchmark("tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Size a row-based FPGA for it: default mixed segmentation, 24 tracks
+	// per channel.
+	a, err := repro.ArchFor(nl, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simultaneous placement + global routing + detailed routing under the
+	// Cost = Wg·G + Wd·D + Wt·T annealing objective.
+	lay, err := repro.Simultaneous(a, nl, repro.SimConfig{
+		Seed:         1,
+		MovesPerCell: 8,
+		MaxTemps:     80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := lay.WriteSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Check the in-loop Elmore timing against the independently coded
+	// post-layout analyzer (the paper's RICE stand-in).
+	if lay.FullyRouted {
+		wcd, agreement, err := lay.VerifyTiming()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("independent analyzer: %.2f ns (agreement %.3f)\n", wcd/1000, agreement)
+	}
+
+	// The run report carries the Figure-6 dynamics trace.
+	dyn := lay.Sim.Dynamics
+	fmt.Printf("anneal: %d temperatures, final unrouted fraction %.0f%%\n",
+		len(dyn), 100*dyn[len(dyn)-1].Unrouted)
+}

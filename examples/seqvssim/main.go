@@ -1,0 +1,69 @@
+// seqvssim reproduces one row of the paper's Table 1 on a chosen design: it
+// runs the traditional sequential flow (TimberWolf-style placement → global
+// routing → segmented channel routing) and the simultaneous flow on the same
+// netlist and architecture, then compares worst-case delay.
+//
+//	go run ./examples/seqvssim            # the "cse" benchmark
+//	go run ./examples/seqvssim -design s1 -effort 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	design := flag.String("design", "cse", "benchmark name")
+	tracks := flag.Int("tracks", 38, "tracks per channel")
+	effort := flag.Int("effort", 8, "annealing moves per cell per temperature")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	nl, err := repro.GenerateBenchmark(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := repro.ArchFor(nl, *tracks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("design %s: %d cells on a %dx%d array, %d tracks/channel\n\n",
+		*design, nl.NumCells(), a.Rows, a.Cols, a.Tracks)
+
+	seqCfg := repro.SeqConfig{Seed: *seed}
+	seqCfg.Place.MovesPerCell = *effort
+	t0 := time.Now()
+	seqLay, err := repro.Sequential(a, nl, seqCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqDur := time.Since(t0)
+	describe("sequential  ", seqLay, seqDur)
+
+	t0 = time.Now()
+	simLay, err := repro.Simultaneous(a, nl, repro.SimConfig{Seed: *seed, MovesPerCell: *effort, MaxTemps: 140})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simDur := time.Since(t0)
+	describe("simultaneous", simLay, simDur)
+
+	if seqLay.FullyRouted && simLay.FullyRouted {
+		improve := 100 * (seqLay.WCD - simLay.WCD) / seqLay.WCD
+		fmt.Printf("\ntiming improvement: %.1f%% (paper's Table 1 reports 16-28%% on these designs)\n", improve)
+		fmt.Printf("runtime ratio: %.1fx (paper reports 3-4x)\n", float64(simDur)/float64(seqDur))
+	}
+}
+
+func describe(name string, lay *repro.Layout, dur time.Duration) {
+	status := "100% routed"
+	if !lay.FullyRouted {
+		status = fmt.Sprintf("%d nets UNROUTED", lay.Unrouted)
+	}
+	fmt.Printf("%s  %-16s  WCD %7.2f ns  in %v\n", name, status, lay.WCD/1000, dur.Round(10*time.Millisecond))
+}

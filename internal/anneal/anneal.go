@@ -1,0 +1,195 @@
+// Package anneal provides the simulated-annealing engine shared by the
+// baseline placer and the simultaneous place-and-route optimizer. The cooling
+// schedule is adaptive in the style of Huang, Romeo and
+// Sangiovanni-Vincentelli (ICCAD 1986, the paper's reference [4]): the
+// starting temperature is derived from the cost spread of an initial random
+// walk, each temperature decrement is scaled by the cost standard deviation
+// observed at that temperature, and termination is detected from acceptance
+// ratio and best-cost stagnation rather than a fixed temperature count.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem is a state that the engine can perturb. Propose applies a tentative
+// move and returns its cost delta; the engine then calls exactly one of
+// Accept or Reject.
+type Problem interface {
+	Cost() float64
+	Propose(rng *rand.Rand) float64
+	Accept()
+	Reject()
+}
+
+// Config tunes the engine. Zero values select the documented defaults.
+type Config struct {
+	Seed         int64
+	MovesPerTemp int     // moves attempted per temperature (size to the problem)
+	InitAccept   float64 // target acceptance probability at T0 (default 0.93)
+	Lambda       float64 // cooling aggressiveness λ in T' = T·exp(-λT/σ) (default 0.7)
+	MinDecrement float64 // lower bound on the per-temperature cooling factor (default 0.5)
+	MaxTemps     int     // hard cap on temperature steps (default 400)
+	FrozenTemps  int     // stop after this many stagnant, cold temperatures (default 4)
+	AcceptFloor  float64 // acceptance ratio below which a temperature counts as cold (default 0.02)
+}
+
+func (c *Config) setDefaults() {
+	if c.MovesPerTemp <= 0 {
+		c.MovesPerTemp = 1000
+	}
+	if c.InitAccept <= 0 || c.InitAccept >= 1 {
+		c.InitAccept = 0.93
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.7
+	}
+	if c.MinDecrement <= 0 || c.MinDecrement >= 1 {
+		c.MinDecrement = 0.5
+	}
+	if c.MaxTemps <= 0 {
+		c.MaxTemps = 400
+	}
+	if c.FrozenTemps <= 0 {
+		c.FrozenTemps = 4
+	}
+	if c.AcceptFloor <= 0 {
+		c.AcceptFloor = 0.02
+	}
+}
+
+// TempStats summarizes one temperature step; it drives the Figure-6 style
+// dynamics instrumentation.
+type TempStats struct {
+	Step     int
+	Temp     float64
+	Moves    int
+	Accepted int
+	Cost     float64 // cost at end of the temperature
+	BestCost float64 // best cost seen so far
+	StdCost  float64 // cost standard deviation within the temperature
+}
+
+// AcceptRatio returns the fraction of proposed moves accepted.
+func (s TempStats) AcceptRatio() float64 {
+	if s.Moves == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Moves)
+}
+
+// Result reports a finished run.
+type Result struct {
+	FinalCost  float64
+	BestCost   float64
+	Temps      int
+	TotalMoves int
+	Accepted   int
+}
+
+// Run anneals the problem. onTemp, if non-nil, is called after every
+// temperature (including the warmup walk, reported as step 0 with the
+// starting temperature).
+func Run(p Problem, cfg Config, onTemp func(TempStats)) Result {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Warmup random walk: accept everything, measure the cost spread.
+	var warm stats
+	for i := 0; i < cfg.MovesPerTemp; i++ {
+		p.Propose(rng)
+		p.Accept()
+		warm.add(p.Cost())
+	}
+	sigma := warm.std()
+	if sigma <= 0 {
+		sigma = math.Max(1, math.Abs(p.Cost())*0.05)
+	}
+	temp := sigma / -math.Log(cfg.InitAccept)
+	best := p.Cost()
+	res := Result{TotalMoves: cfg.MovesPerTemp, Accepted: cfg.MovesPerTemp}
+	if onTemp != nil {
+		onTemp(TempStats{Step: 0, Temp: temp, Moves: cfg.MovesPerTemp, Accepted: cfg.MovesPerTemp,
+			Cost: p.Cost(), BestCost: best, StdCost: sigma})
+	}
+
+	frozen := 0
+	for step := 1; step <= cfg.MaxTemps; step++ {
+		var st stats
+		accepted := 0
+		bestBefore := best
+		for i := 0; i < cfg.MovesPerTemp; i++ {
+			d := p.Propose(rng)
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				p.Accept()
+				accepted++
+			} else {
+				p.Reject()
+			}
+			c := p.Cost()
+			st.add(c)
+			if c < best {
+				best = c
+			}
+		}
+		res.TotalMoves += cfg.MovesPerTemp
+		res.Accepted += accepted
+		res.Temps = step
+		ratio := float64(accepted) / float64(cfg.MovesPerTemp)
+		improved := best < bestBefore
+		if onTemp != nil {
+			onTemp(TempStats{Step: step, Temp: temp, Moves: cfg.MovesPerTemp, Accepted: accepted,
+				Cost: p.Cost(), BestCost: best, StdCost: st.std()})
+		}
+		// A temperature is stagnant when it neither improved the best nor
+		// shows real cost movement: acceptance collapsed, or all accepted
+		// moves were zero-delta plateau wandering.
+		if !improved && (ratio < cfg.AcceptFloor || st.std() == 0) {
+			frozen++
+			if frozen >= cfg.FrozenTemps {
+				break
+			}
+		} else {
+			frozen = 0
+		}
+		// Huang et al. adaptive decrement, bounded to avoid quenching.
+		dec := math.Exp(-cfg.Lambda * temp / math.Max(st.std(), 1e-9))
+		if dec < cfg.MinDecrement {
+			dec = cfg.MinDecrement
+		}
+		if dec > 0.995 {
+			dec = 0.995
+		}
+		temp *= dec
+	}
+	res.FinalCost = p.Cost()
+	res.BestCost = best
+	return res
+}
+
+// stats accumulates mean/std/min online.
+type stats struct {
+	n          int
+	mean, m2   float64
+	min        float64
+	haveSample bool
+}
+
+func (s *stats) add(x float64) {
+	if !s.haveSample || x < s.min {
+		s.min = x
+		s.haveSample = true
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+func (s *stats) std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}

@@ -1,0 +1,57 @@
+package arch
+
+// Pinmap assigns each pin of a cell to a module edge. Index 0 is the cell's
+// output pin; indices 1..k are its inputs. Since any cell-level function can
+// be realized with several different physical pin assignments, the layout
+// optimizer is free to pick among a palette of legal pinmaps (paper §3.2).
+type Pinmap []Side
+
+// NumPinmaps is the size of the pinmap palette generated for every cell
+// shape. The paper assumes "a manageable palette of pinmap alternatives"
+// generated at compile time; four variants per shape is that palette here.
+const NumPinmaps = 4
+
+// PinmapFor returns pinmap variant v for a cell with numInputs input pins.
+// The variants differ in which edge the output drives and how inputs are
+// distributed between the two adjacent channels:
+//
+//	0: output top, inputs alternating bottom/top
+//	1: output bottom, inputs alternating top/bottom
+//	2: output top, all inputs bottom
+//	3: output bottom, all inputs top
+//
+// The result has length numInputs+1 and index 0 is the output pin.
+func PinmapFor(numInputs, v int) Pinmap {
+	pm := make(Pinmap, numInputs+1)
+	switch v % NumPinmaps {
+	case 0:
+		pm[0] = Top
+		for i := 1; i <= numInputs; i++ {
+			if i%2 == 1 {
+				pm[i] = Bottom
+			} else {
+				pm[i] = Top
+			}
+		}
+	case 1:
+		pm[0] = Bottom
+		for i := 1; i <= numInputs; i++ {
+			if i%2 == 1 {
+				pm[i] = Top
+			} else {
+				pm[i] = Bottom
+			}
+		}
+	case 2:
+		pm[0] = Top
+		for i := 1; i <= numInputs; i++ {
+			pm[i] = Bottom
+		}
+	case 3:
+		pm[0] = Bottom
+		for i := 1; i <= numInputs; i++ {
+			pm[i] = Top
+		}
+	}
+	return pm
+}

@@ -1,0 +1,504 @@
+// Package core implements the paper's contribution: performance-driven
+// simultaneous placement, global routing and detailed routing for row-based
+// FPGAs (Nag & Rutenbar, DAC 1994, §3).
+//
+// A single simulated annealing optimization manipulates all the actors of
+// the layout concurrently. The state is a legal placement plus a pinmap
+// choice per cell plus a (possibly incomplete) segment assignment per net;
+// the move set is cell swaps/translations and pinmap reassignments; every
+// move rips up the nets on the perturbed cells and triggers incremental
+// global and detailed rerouting of all currently-unroutable nets; the cost is
+//
+//	Cost = Wg·G + Wd·D + Wt·T
+//
+// with G = globally-unroutable net count, D = nets lacking a complete
+// detailed route (D ⊇ G), and T the worst-case path delay maintained by an
+// incremental, levelized timing analysis (Elmore RC-tree delays once a net is
+// physically embedded, spatial-extent estimates before). There is no
+// wirelength term: short wires emerge constructively from the routers'
+// wastage/segment-count preferences. Weights are renormalized adaptively at
+// temperature boundaries.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/anneal"
+	"repro/internal/arch"
+	"repro/internal/droute"
+	"repro/internal/fabric"
+	"repro/internal/groute"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// Config tunes the simultaneous optimizer.
+type Config struct {
+	Seed         int64
+	MovesPerCell int     // moves per temperature = MovesPerCell × #cells (default 12)
+	PinmapProb   float64 // fraction of moves that reassign a pinmap (default 0.15)
+	MaxTemps     int     // temperature cap (default 300)
+
+	// Relative emphasis of the cost components; the absolute weights are
+	// renormalized adaptively each temperature (paper §3.2). DisableTiming
+	// yields a pure wirability optimization (used by the Table-2 sweep).
+	RouteGamma    float64 // default 1.0
+	TimingGamma   float64 // default 1.0
+	DisableTiming bool
+
+	DrouteCost   droute.Cost // zero value selects droute.DefaultCost
+	RepairPasses int         // zero-temperature routability repair passes (default 6)
+
+	// DisablePinmapMoves removes pinmap reassignment from the move set
+	// (ablation: quantifies what the paper's "Cell Pin Assignments" state
+	// component buys).
+	DisablePinmapMoves bool
+
+	// DCFraction is the per-missing-channel surcharge inside the D term
+	// (default 0.35; negative disables it). The paper defines D as a bare
+	// net count; the surcharge gives the annealer a gradient toward full
+	// detailed routing and is ablatable.
+	DCFraction float64
+
+	// RangeLimit enables TimberWolf-style adaptive move-range windows (the
+	// "technical improvements ... for increased speed" direction of the
+	// paper's §5): the swap partner is drawn from a window around the moved
+	// cell whose radius adapts to keep acceptance near 0.44.
+	RangeLimit bool
+}
+
+func (c *Config) setDefaults() {
+	if c.MovesPerCell <= 0 {
+		c.MovesPerCell = 12
+	}
+	if c.PinmapProb <= 0 {
+		c.PinmapProb = 0.15
+	}
+	if c.MaxTemps <= 0 {
+		c.MaxTemps = 300
+	}
+	if c.RouteGamma <= 0 {
+		c.RouteGamma = 1.0
+	}
+	if c.TimingGamma <= 0 {
+		c.TimingGamma = 1.0
+	}
+	if c.DisableTiming {
+		c.TimingGamma = 0
+	}
+	if c.DrouteCost == (droute.Cost{}) {
+		c.DrouteCost = droute.DefaultCost()
+	}
+	if c.RepairPasses <= 0 {
+		c.RepairPasses = 6
+	}
+	if c.DCFraction == 0 {
+		c.DCFraction = 0.35
+	}
+	if c.DCFraction < 0 {
+		c.DCFraction = 0
+	}
+	if c.DisablePinmapMoves {
+		c.PinmapProb = 0
+	}
+}
+
+// DynamicsSample is one temperature's activity snapshot — the series plotted
+// in the paper's Figure 6.
+type DynamicsSample struct {
+	Step             int
+	Temp             float64
+	CellsPerturbed   float64 // fraction of cells whose location/pinmap changed
+	GlobalUnrouted   float64 // fraction of nets with no global route (G/#nets)
+	Unrouted         float64 // fraction of nets lacking complete detailed routing (D/#nets)
+	WCD              float64 // current worst-case delay, ps
+	Cost             float64
+	AcceptRatio      float64
+	MovesAtTemp      int
+	AcceptedMovesSum int
+}
+
+// Result reports a finished simultaneous place-and-route run.
+type Result struct {
+	G, D         int     // final unrouted counts (0,0 = 100% routed)
+	WCD          float64 // final worst-case delay per the in-loop model
+	FullyRouted  bool
+	Anneal       anneal.Result
+	Dynamics     []DynamicsSample
+	RepairMoves  int
+	RepairFixed  int
+	FinalCost    float64
+	CriticalPath []int32
+}
+
+// Optimizer is the simultaneous place-and-route engine. It implements
+// anneal.Problem; most callers just use Run.
+type Optimizer struct {
+	A   *arch.Arch
+	NL  *netlist.Netlist
+	P   *layout.Placement
+	F   *fabric.Fabric
+	Rts []fabric.NetRoute
+	An  *timing.Analyzer
+
+	cfg Config
+
+	g, d       int // current G and D counts
+	dc         int // missing detailed channel routes across globally routed nets
+	wg, wd, wt float64
+
+	// Move journal (valid between Propose and Accept/Reject).
+	moveKind     moveKind
+	swapA        layout.Loc
+	swapB        layout.Loc
+	pmCell       int32
+	pmOld        uint8
+	journal      []jEntry
+	jOldG, jOldD int
+	jOldDC       int
+	netStamp     []uint32
+	epoch        uint32
+
+	// Dynamics instrumentation.
+	cellStamp     []uint32
+	cellEpochBase uint32
+	perturbed     int
+
+	worklist []int32
+	estLen   []float64
+	dynamics []DynamicsSample
+	dcalc    timing.DelayCalc
+	estBuf   []float64
+
+	// Adaptive move-range window (RangeLimit extension).
+	window int
+}
+
+type moveKind uint8
+
+const (
+	moveNone moveKind = iota
+	moveSwap
+	movePinmap
+)
+
+// New builds the initial state: a random legal placement, a constructive
+// first routing pass, and a fully initialized timing view.
+func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p, err := layout.NewRandom(a, nl, rng)
+	if err != nil {
+		return nil, err
+	}
+	an, err := timing.NewAnalyzer(nl)
+	if err != nil {
+		return nil, err
+	}
+	o := &Optimizer{
+		A:   a,
+		NL:  nl,
+		P:   p,
+		F:   fabric.New(a),
+		Rts: make([]fabric.NetRoute, nl.NumNets()),
+		An:  an,
+		cfg: cfg,
+
+		netStamp:  make([]uint32, nl.NumNets()),
+		cellStamp: make([]uint32, nl.NumCells()),
+	}
+	o.window = maxInt(a.Rows, a.Cols)
+
+	// Initial constructive routing (longest nets first) and delay fill.
+	groute.RouteAll(o.F, o.P, o.Rts)
+	droute.RouteAllDetailed(o.F, o.Rts, cfg.DrouteCost, 1, rng)
+	o.recountGD()
+	if o.timingOn() {
+		an.Begin()
+		for id := range o.Rts {
+			if len(nl.Nets[id].Sinks) == 0 {
+				continue
+			}
+			d, err := o.netDelays(int32(id))
+			if err != nil {
+				return nil, err
+			}
+			an.SetNetDelays(int32(id), d)
+		}
+		an.Propagate()
+		an.Commit()
+	}
+	o.refreshWeights()
+	return o, nil
+}
+
+// timingOn reports whether the timing term participates in the optimization.
+// When it does not (the pure-wirability mode of the Table-2 sweep), delay
+// evaluation and propagation are skipped entirely.
+func (o *Optimizer) timingOn() bool { return o.cfg.TimingGamma > 0 }
+
+// RefreshTiming fills the timing view from the current routes regardless of
+// mode; wirability-only callers use it to obtain a final WCD report.
+func (o *Optimizer) RefreshTiming() error {
+	o.An.Begin()
+	for id := range o.Rts {
+		if len(o.NL.Nets[id].Sinks) == 0 {
+			continue
+		}
+		d, err := o.netDelays(int32(id))
+		if err != nil {
+			o.An.Revert()
+			return err
+		}
+		o.An.SetNetDelays(int32(id), d)
+	}
+	o.An.Propagate()
+	o.An.Commit()
+	return nil
+}
+
+// netDelays returns the current best-known per-sink delays for a net:
+// detailed Elmore when fully embedded, the spatial estimator otherwise. The
+// returned slice is only valid until the next call (the analyzer copies it).
+func (o *Optimizer) netDelays(id int32) ([]float64, error) {
+	if o.Rts[id].DetailDone() {
+		return o.dcalc.NetDelays(o.P, id, &o.Rts[id], 1.0)
+	}
+	o.estBuf = timing.AppendEstimateDelays(o.estBuf[:0], o.P, id)
+	return o.estBuf, nil
+}
+
+// recountGD recomputes G, D and the missing-channel count from scratch.
+func (o *Optimizer) recountGD() {
+	o.g, o.d, o.dc = 0, 0, 0
+	for id := range o.Rts {
+		if !o.Rts[id].Global {
+			o.g++
+		}
+		if !o.Rts[id].DetailDone() {
+			o.d++
+		}
+		if o.Rts[id].Global {
+			o.dc += o.Rts[id].UnroutedChans()
+		}
+	}
+}
+
+// refreshWeights renormalizes the cost weights against the current component
+// magnitudes (paper §3.2: "determined adaptively at runtime so as to
+// normalize the components"). Floors keep the pressure per unrouted net
+// growing as the counts shrink, which is what drives the layout to 100%
+// routing.
+func (o *Optimizer) refreshWeights() {
+	n := float64(o.NL.NumNets())
+	gRef := float64(o.g)
+	if gRef < 0.02*n {
+		gRef = 0.02 * n
+	}
+	dRef := float64(o.d)
+	if dRef < 0.04*n {
+		dRef = 0.04 * n
+	}
+	o.wg = o.cfg.RouteGamma / gRef
+	o.wd = o.cfg.RouteGamma / dRef
+	if !o.timingOn() {
+		o.wt = 0
+		return
+	}
+	t := o.An.WCD()
+	if t <= 0 {
+		t = 1
+	}
+	o.wt = o.cfg.TimingGamma / t
+}
+
+// Cost implements anneal.Problem. The D term carries a fractional
+// missing-channel component: a net stuck in three channels costs more than
+// one stuck in a single channel, which gives the annealer a gradient toward
+// full detailed routing that a bare net count lacks.
+func (o *Optimizer) Cost() float64 {
+	d := float64(o.d) + o.cfg.DCFraction*float64(o.dc)
+	return o.wg*float64(o.g) + o.wd*d + o.wt*o.An.WCD()
+}
+
+// G returns the current number of globally unroutable nets.
+func (o *Optimizer) G() int { return o.g }
+
+// D returns the current number of nets lacking a complete detailed route.
+func (o *Optimizer) D() int { return o.d }
+
+// WCD returns the current worst-case delay in picoseconds.
+func (o *Optimizer) WCD() float64 { return o.An.WCD() }
+
+// Run anneals to completion, applies the zero-temperature routability repair,
+// and reports the result.
+func (o *Optimizer) Run() Result {
+	o.dynamics = o.dynamics[:0]
+	o.cellEpochBase = o.epoch
+	ares := anneal.Run(o, anneal.Config{
+		Seed:         o.cfg.Seed + 1,
+		MovesPerTemp: o.cfg.MovesPerCell * o.NL.NumCells(),
+		MaxTemps:     o.cfg.MaxTemps,
+	}, o.onTemp)
+
+	rng := rand.New(rand.NewSource(o.cfg.Seed + 2))
+	repairMoves, repairFixed := o.repair(rng)
+
+	if !o.timingOn() {
+		// Wirability-only runs still report a real final delay.
+		if err := o.RefreshTiming(); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+	res := Result{
+		G:            o.g,
+		D:            o.d,
+		WCD:          o.An.WCD(),
+		FullyRouted:  o.g == 0 && o.d == 0,
+		Anneal:       ares,
+		Dynamics:     append([]DynamicsSample(nil), o.dynamics...),
+		RepairMoves:  repairMoves,
+		RepairFixed:  repairFixed,
+		FinalCost:    o.Cost(),
+		CriticalPath: o.An.CriticalPath(),
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// onTemp records Figure-6 dynamics, renormalizes weights, and adapts the
+// move-range window toward the classic 0.44 acceptance target.
+func (o *Optimizer) onTemp(s anneal.TempStats) {
+	n := float64(o.NL.NumNets())
+	o.dynamics = append(o.dynamics, DynamicsSample{
+		Step:             s.Step,
+		Temp:             s.Temp,
+		CellsPerturbed:   float64(o.perturbed) / float64(o.NL.NumCells()),
+		GlobalUnrouted:   float64(o.g) / n,
+		Unrouted:         float64(o.d) / n,
+		WCD:              o.An.WCD(),
+		Cost:             s.Cost,
+		AcceptRatio:      s.AcceptRatio(),
+		MovesAtTemp:      s.Moves,
+		AcceptedMovesSum: s.Accepted,
+	})
+	o.perturbed = 0
+	o.cellEpochBase = o.epoch // invalidate per-temperature cell stamps
+	o.refreshWeights()
+	if o.cfg.RangeLimit {
+		// Lam-style control: low acceptance means the moves are too
+		// disruptive, so shrink the window; high acceptance means they are
+		// too timid, so widen it.
+		switch r := s.AcceptRatio(); {
+		case r < 0.38:
+			o.window = maxInt(1, o.window*8/10)
+		case r > 0.55:
+			o.window = minIntc(o.window*12/10+1, maxInt(o.A.Rows, o.A.Cols))
+		}
+	}
+}
+
+func minIntc(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// repair runs greedy zero-temperature passes that target the cells of
+// still-unrouted nets, accepting only non-worsening moves, until the layout
+// is fully routed or the pass budget is exhausted. Returns moves tried and
+// nets fixed.
+func (o *Optimizer) repair(rng *rand.Rand) (moves, fixed int) {
+	if o.d == 0 {
+		return 0, 0
+	}
+	startD := o.d
+	for pass := 0; pass < o.cfg.RepairPasses && o.d > 0; pass++ {
+		budget := 4 * o.NL.NumCells()
+		for i := 0; i < budget && o.d > 0; i++ {
+			dC := o.proposeBiased(rng)
+			moves++
+			dGD := (o.g + o.d) - (o.jOldG + o.jOldD)
+			if dGD < 0 || (dGD == 0 && dC <= 0) {
+				o.Accept()
+			} else {
+				o.Reject()
+			}
+		}
+	}
+	return moves, startD - o.d
+}
+
+// proposeBiased is Propose, but the moved cell is drawn from an unrouted
+// net's pins half of the time — used only by the repair phase.
+func (o *Optimizer) proposeBiased(rng *rand.Rand) float64 {
+	if o.d > 0 && rng.Intn(2) == 0 {
+		if cell, ok := o.cellOnUnroutedNet(rng); ok {
+			lb := layout.Loc{Row: rng.Intn(o.A.Rows), Col: rng.Intn(o.A.Cols)}
+			return o.proposeSwap(o.P.Loc[cell], lb)
+		}
+	}
+	return o.Propose(rng)
+}
+
+func (o *Optimizer) cellOnUnroutedNet(rng *rand.Rand) (int32, bool) {
+	// Reservoir-sample an unrouted net.
+	seen := 0
+	pick := int32(-1)
+	for id := range o.Rts {
+		if o.Rts[id].DetailDone() {
+			continue
+		}
+		seen++
+		if rng.Intn(seen) == 0 {
+			pick = int32(id)
+		}
+	}
+	if pick < 0 {
+		return 0, false
+	}
+	net := &o.NL.Nets[pick]
+	k := rng.Intn(len(net.Sinks) + 1)
+	if k == 0 {
+		return net.Driver.Cell, true
+	}
+	return net.Sinks[k-1].Cell, true
+}
+
+// Dynamics returns the per-temperature activity trace of the last Run.
+func (o *Optimizer) Dynamics() []DynamicsSample { return o.dynamics }
+
+// sortWorklist orders net ids by decreasing estimated length (the paper's
+// U_G/U_D priority).
+func (o *Optimizer) sortWorklist() {
+	if cap(o.estLen) < o.NL.NumNets() {
+		o.estLen = make([]float64, o.NL.NumNets())
+	}
+	for _, id := range o.worklist {
+		o.estLen[id] = o.P.EstLength(id)
+	}
+	sort.Slice(o.worklist, func(i, j int) bool {
+		a, b := o.worklist[i], o.worklist[j]
+		if o.estLen[a] != o.estLen[b] {
+			return o.estLen[a] > o.estLen[b]
+		}
+		return a < b
+	})
+}
+
+var _ anneal.Problem = (*Optimizer)(nil)
+
+// String summarizes the current state (for logs and debugging).
+func (o *Optimizer) String() string {
+	return fmt.Sprintf("core{G=%d D=%d T=%.0fps cost=%.4f}", o.g, o.d, o.An.WCD(), o.Cost())
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netgen"
+)
+
+// TestSoakLongRandomWalk drives the optimizer through a long mixed sequence
+// of accepted and rejected moves across several contention regimes, checking
+// the full cross-structure invariants periodically. This is the long-horizon
+// complement to the per-move undo tests.
+func TestSoakLongRandomWalk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	nl, err := netgen.Generate(netgen.Params{Name: "soak", Inputs: 6, Outputs: 5, Seq: 3, Comb: 60, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes := []struct {
+		name   string
+		tracks int
+		vt     int
+	}{
+		{"generous", 24, 5},
+		{"tight-horizontal", 8, 5},
+		{"tight-vertical", 20, 1},
+	}
+	for _, rg := range regimes {
+		t.Run(rg.name, func(t *testing.T) {
+			p := arch.Default(6, 20, rg.tracks)
+			p.VTracks = rg.vt
+			a := arch.MustNew(p)
+			o, err := New(a, nl, Config{Seed: 13})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(14))
+			for i := 0; i < 4000; i++ {
+				d := o.Propose(rng)
+				switch {
+				case d <= 0 || rng.Float64() < 0.3:
+					o.Accept()
+				default:
+					o.Reject()
+				}
+				if i%500 == 499 {
+					if err := o.Check(); err != nil {
+						t.Fatalf("%s: move %d: %v", rg.name, i, err)
+					}
+				}
+			}
+			if err := o.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+// Package droute implements detailed routing for segmented channels: picking,
+// for each net in each channel, a track whose free consecutive segments cover
+// the net's column interval. Track choice minimizes a weighted sum of segment
+// wastage and segment count (after Greene et al. [8] and Roy [11]), which
+// constructively prefers short, low-antifuse-count embeddings — the paper's
+// substitute for an explicit wirelength cost term. The same primitive serves
+// the incremental in-the-loop router and the sequential baseline's full
+// channel router.
+package droute
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// Cost weights the two terms of the track-selection objective.
+type Cost struct {
+	WWaste float64 // per column of allocated-but-unneeded segment length
+	WSegs  float64 // per segment used (each extra segment implies an antifuse)
+}
+
+// DefaultCost returns the weights used throughout the reproduction.
+func DefaultCost() Cost { return Cost{WWaste: 1, WSegs: 4} }
+
+// PickTrack returns the cheapest feasible track for covering columns
+// [lo, hi] in channel ch, or ok=false when no track has the needed free run.
+func PickTrack(f *fabric.Fabric, ch, lo, hi int, cost Cost) (track, segLo, segHi int, ok bool) {
+	a := f.A
+	best := math.Inf(1)
+	track = -1
+	for t := 0; t < a.Tracks; t++ {
+		sl, sh := a.SegRange(t, lo, hi)
+		if !f.HRangeFree(ch, t, sl, sh) {
+			continue
+		}
+		segs := a.Seg[t]
+		waste := float64((segs[sh].End - segs[sl].Start) - (hi - lo + 1))
+		c := cost.WWaste*waste + cost.WSegs*float64(sh-sl+1)
+		if c < best {
+			best, track, segLo, segHi = c, t, sl, sh
+		}
+	}
+	return track, segLo, segHi, track >= 0
+}
+
+// RouteChan detail-routes channel entry ci of net id's route, allocating the
+// chosen segments. The entry must currently be unrouted. Returns false when
+// no track can host the interval.
+func RouteChan(f *fabric.Fabric, id int32, r *fabric.NetRoute, ci int, cost Cost) bool {
+	ca := &r.Chans[ci]
+	t, sl, sh, ok := PickTrack(f, ca.Ch, ca.Lo, ca.Hi, cost)
+	if !ok {
+		return false
+	}
+	f.AllocH(ca.Ch, t, sl, sh, id)
+	ca.Track, ca.SegLo, ca.SegHi = t, sl, sh
+	return true
+}
+
+// UnrouteChan releases channel entry ci of net id's route and marks it
+// unrouted.
+func UnrouteChan(f *fabric.Fabric, id int32, r *fabric.NetRoute, ci int) {
+	ca := &r.Chans[ci]
+	f.FreeH(ca.Ch, ca.Track, ca.SegLo, ca.SegHi, id)
+	ca.Track = -1
+}
+
+// RouteNet attempts to detail-route every unrouted channel of a globally
+// routed net. It returns the number of channels that remain unrouted.
+func RouteNet(f *fabric.Fabric, id int32, r *fabric.NetRoute, cost Cost) int {
+	missing := 0
+	for ci := range r.Chans {
+		if r.Chans[ci].Routed() {
+			continue
+		}
+		if !RouteChan(f, id, r, ci, cost) {
+			missing++
+		}
+	}
+	return missing
+}
+
+// chanItem identifies one channel need of one net during full routing.
+type chanItem struct {
+	net int32
+	ci  int
+	len int
+}
+
+// RouteAllDetailed is the sequential baseline's full detailed router: each
+// channel is routed independently. Nets are first ordered longest-interval
+// first (the classic segmented-channel heuristic); if any fail, additional
+// randomized orderings are tried and the best assignment (fewest failures)
+// kept. Returns the total number of channel needs left unrouted.
+func RouteAllDetailed(f *fabric.Fabric, routes []fabric.NetRoute, cost Cost, attempts int, rng *rand.Rand) int {
+	if attempts < 1 {
+		attempts = 1
+	}
+	totalFailed := 0
+	for ch := 0; ch < f.A.Channels(); ch++ {
+		var items []chanItem
+		for id := range routes {
+			if !routes[id].Global {
+				continue
+			}
+			for ci := range routes[id].Chans {
+				ca := &routes[id].Chans[ci]
+				if ca.Ch == ch && !ca.Routed() {
+					items = append(items, chanItem{net: int32(id), ci: ci, len: ca.Hi - ca.Lo})
+				}
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].len != items[j].len {
+				return items[i].len > items[j].len
+			}
+			return items[i].net < items[j].net
+		})
+		bestFailed := routeChannelOrder(f, routes, items, cost)
+		if bestFailed > 0 && attempts > 1 {
+			bestOrder := append([]chanItem(nil), items...)
+			for try := 1; try < attempts && bestFailed > 0; try++ {
+				unrouteChannel(f, routes, items)
+				rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+				failed := routeChannelOrder(f, routes, items, cost)
+				if failed < bestFailed {
+					bestFailed = failed
+					copy(bestOrder, items)
+				}
+			}
+			// Re-route with the best ordering found.
+			unrouteChannel(f, routes, items)
+			final := routeChannelOrder(f, routes, bestOrder, cost)
+			bestFailed = final
+		}
+		totalFailed += bestFailed
+	}
+	return totalFailed
+}
+
+func routeChannelOrder(f *fabric.Fabric, routes []fabric.NetRoute, items []chanItem, cost Cost) int {
+	failed := 0
+	for _, it := range items {
+		if !RouteChan(f, it.net, &routes[it.net], it.ci, cost) {
+			failed++
+		}
+	}
+	return failed
+}
+
+func unrouteChannel(f *fabric.Fabric, routes []fabric.NetRoute, items []chanItem) {
+	for _, it := range items {
+		if routes[it.net].Chans[it.ci].Routed() {
+			UnrouteChan(f, it.net, &routes[it.net], it.ci)
+		}
+	}
+}

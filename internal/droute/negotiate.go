@@ -1,0 +1,216 @@
+package droute
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// NegotiateConfig tunes the negotiated-congestion full detailed router, a
+// PathFinder-style iterative scheme adapted to segmented channels: every net
+// picks its cheapest track while sharing is permitted but increasingly
+// penalized, and per-segment history cost accumulates on chronically
+// contended segments until the solution untangles. This post-dates the
+// paper (it is the direction detailed FPGA routing took) and is offered as
+// an opt-in alternative to the ordered single-pass router of [8][11].
+type NegotiateConfig struct {
+	MaxIters     int     // negotiation iterations (default 40)
+	PresentBase  float64 // first-iteration sharing penalty (default 0.5)
+	PresentGrow  float64 // multiplicative growth per iteration (default 1.6)
+	HistoryDelta float64 // history added to each over-subscribed segment per iteration (default 1.0)
+	Seed         int64   // seed for the ordered-router fallback on non-convergent instances
+}
+
+func (c *NegotiateConfig) setDefaults() {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 40
+	}
+	if c.PresentBase <= 0 {
+		c.PresentBase = 0.5
+	}
+	if c.PresentGrow <= 1 {
+		c.PresentGrow = 1.6
+	}
+	if c.HistoryDelta <= 0 {
+		c.HistoryDelta = 1.0
+	}
+}
+
+// RouteAllNegotiated detail-routes every unrouted channel need of the
+// globally routed nets using congestion negotiation, then commits the final
+// conflict-free assignments into f. Channel needs that still conflict after
+// MaxIters (the loser keeps Track == -1) or that fit no track at all are
+// counted in the returned failure total.
+func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, cfg NegotiateConfig) int {
+	cfg.setDefaults()
+	a := f.A
+
+	// Work items: one per unrouted channel need.
+	type item struct {
+		net int32
+		ci  int
+	}
+	var items []item
+	for id := range routes {
+		if !routes[id].Global {
+			continue
+		}
+		for ci := range routes[id].Chans {
+			if !routes[id].Chans[ci].Routed() {
+				items = append(items, item{int32(id), ci})
+			}
+		}
+	}
+	if len(items) == 0 {
+		return 0
+	}
+	// Longest intervals first: they have the fewest alternatives, so they
+	// should claim resources first both during negotiation and at commit.
+	sort.Slice(items, func(i, j int) bool {
+		a1 := &routes[items[i].net].Chans[items[i].ci]
+		a2 := &routes[items[j].net].Chans[items[j].ci]
+		l1, l2 := a1.Hi-a1.Lo, a2.Hi-a2.Lo
+		if l1 != l2 {
+			return l1 > l2
+		}
+		return items[i].net < items[j].net
+	})
+
+	// Shared occupancy and history, mirroring the fabric's H segments but
+	// permitting over-subscription during negotiation. Segments already owned
+	// in the fabric (pre-routed nets) are permanently blocked.
+	occ := make([][][]int16, a.Channels())
+	hist := make([][][]float64, a.Channels())
+	blocked := make([][][]bool, a.Channels())
+	for ch := 0; ch < a.Channels(); ch++ {
+		occ[ch] = make([][]int16, a.Tracks)
+		hist[ch] = make([][]float64, a.Tracks)
+		blocked[ch] = make([][]bool, a.Tracks)
+		for t := 0; t < a.Tracks; t++ {
+			n := len(a.Seg[t])
+			occ[ch][t] = make([]int16, n)
+			hist[ch][t] = make([]float64, n)
+			blocked[ch][t] = make([]bool, n)
+			for s := 0; s < n; s++ {
+				blocked[ch][t][s] = f.HOwner(ch, t, s) != fabric.Free
+			}
+		}
+	}
+
+	// choice[i] is item i's current (track, segLo, segHi), track == -1 if
+	// nothing feasible.
+	type choice struct{ track, segLo, segHi int }
+	choices := make([]choice, len(items))
+	for i := range choices {
+		choices[i].track = -1
+	}
+
+	pres := cfg.PresentBase
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Rip everything (occupancy only) and re-route in index order.
+		for ch := range occ {
+			for t := range occ[ch] {
+				for s := range occ[ch][t] {
+					occ[ch][t][s] = 0
+				}
+			}
+		}
+		for i, it := range items {
+			ca := &routes[it.net].Chans[it.ci]
+			best := math.Inf(1)
+			bt := -1
+			var bl, bh int
+			for t := 0; t < a.Tracks; t++ {
+				sl, sh := a.SegRange(t, ca.Lo, ca.Hi)
+				cost := 0.0
+				feasible := true
+				for s := sl; s <= sh; s++ {
+					if blocked[ca.Ch][t][s] {
+						feasible = false
+						break
+					}
+					share := float64(occ[ca.Ch][t][s])
+					cost += (1 + hist[ca.Ch][t][s]) * (1 + pres*share)
+				}
+				if !feasible {
+					continue
+				}
+				segs := a.Seg[t]
+				waste := float64((segs[sh].End - segs[sl].Start) - (ca.Hi - ca.Lo + 1))
+				cost += base.WWaste*waste + base.WSegs*float64(sh-sl+1)
+				if cost < best {
+					best, bt, bl, bh = cost, t, sl, sh
+				}
+			}
+			choices[i] = choice{bt, bl, bh}
+			if bt >= 0 {
+				for s := bl; s <= bh; s++ {
+					occ[ca.Ch][bt][s]++
+				}
+			}
+		}
+		// Check for over-subscription; accrue history on contended segments.
+		clean := true
+		for i, it := range items {
+			c := choices[i]
+			if c.track < 0 {
+				continue
+			}
+			ch := routes[it.net].Chans[it.ci].Ch
+			for s := c.segLo; s <= c.segHi; s++ {
+				if occ[ch][c.track][s] > 1 {
+					clean = false
+					hist[ch][c.track][s] += cfg.HistoryDelta
+				}
+			}
+		}
+		if clean {
+			break
+		}
+		pres *= cfg.PresentGrow
+	}
+
+	// Commit: first-come wins on residual conflicts, and conflict losers get
+	// a salvage attempt on whatever capacity remains (matters only when the
+	// instance is infeasible and negotiation could not converge).
+	commit := func() int {
+		failed := 0
+		for i, it := range items {
+			c := choices[i]
+			ca := &routes[it.net].Chans[it.ci]
+			if c.track >= 0 && f.HRangeFree(ca.Ch, c.track, c.segLo, c.segHi) {
+				f.AllocH(ca.Ch, c.track, c.segLo, c.segHi, it.net)
+				ca.Track, ca.SegLo, ca.SegHi = c.track, c.segLo, c.segHi
+				continue
+			}
+			if RouteChan(f, it.net, &routes[it.net], it.ci, base) {
+				continue
+			}
+			failed++
+		}
+		return failed
+	}
+	ripItems := func() {
+		for _, it := range items {
+			if routes[it.net].Chans[it.ci].Routed() {
+				UnrouteChan(f, it.net, &routes[it.net], it.ci)
+			}
+		}
+	}
+	failed := commit()
+	if failed == 0 {
+		return 0
+	}
+	// Non-convergent (infeasible or pathological) instance: the classic
+	// ordered router with retry orderings may salvage more. Keep whichever
+	// result loses fewer channel needs, so negotiation is never a downgrade.
+	ripItems()
+	orderedFailed := RouteAllDetailed(f, routes, base, 8, rand.New(rand.NewSource(cfg.Seed+41)))
+	if orderedFailed <= failed {
+		return orderedFailed
+	}
+	ripItems()
+	return commit()
+}

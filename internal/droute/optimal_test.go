@@ -1,0 +1,81 @@
+package droute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/fabric"
+)
+
+// bruteBest exhaustively evaluates every feasible track for the interval and
+// returns the minimum cost (math.Inf(1) if none).
+func bruteBest(f *fabric.Fabric, ch, lo, hi int, cost Cost) float64 {
+	a := f.A
+	best := math.Inf(1)
+	for t := 0; t < a.Tracks; t++ {
+		sl, sh := a.SegRange(t, lo, hi)
+		if !f.HRangeFree(ch, t, sl, sh) {
+			continue
+		}
+		segs := a.Seg[t]
+		waste := float64((segs[sh].End - segs[sl].Start) - (hi - lo + 1))
+		c := cost.WWaste*waste + cost.WSegs*float64(sh-sl+1)
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Property: PickTrack always returns a track achieving the exhaustive
+// minimum cost, under random segmentations, random pre-existing occupancy
+// and random cost weights.
+func TestPickTrackIsOptimalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := arch.Default(1, 6+rng.Intn(24), 1+rng.Intn(6))
+		p.SegPattern = []int{1 + rng.Intn(5), 1 + rng.Intn(8)}
+		p.PhaseStep = rng.Intn(6)
+		a, err := arch.New(p)
+		if err != nil {
+			return false
+		}
+		f := fabric.New(a)
+		// Random occupancy.
+		for i := 0; i < 10; i++ {
+			tr := rng.Intn(a.Tracks)
+			seg := rng.Intn(len(a.Seg[tr]))
+			if f.HOwner(0, tr, seg) == fabric.Free {
+				f.AllocH(0, tr, seg, seg, 99)
+			}
+		}
+		cost := Cost{WWaste: rng.Float64()*3 + 0.1, WSegs: rng.Float64()*6 + 0.1}
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Intn(a.Cols)
+			hi := lo + rng.Intn(a.Cols-lo)
+			want := bruteBest(f, 0, lo, hi, cost)
+			tr, sl, sh, ok := PickTrack(f, 0, lo, hi, cost)
+			if !ok {
+				if !math.IsInf(want, 1) {
+					t.Logf("seed %d: PickTrack failed but brute force found cost %v", seed, want)
+					return false
+				}
+				continue
+			}
+			segs := a.Seg[tr]
+			waste := float64((segs[sh].End - segs[sl].Start) - (hi - lo + 1))
+			got := cost.WWaste*waste + cost.WSegs*float64(sh-sl+1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Logf("seed %d: PickTrack cost %v, optimum %v", seed, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package groute implements global routing for row-based FPGAs: assigning
+// vertical segments ("feedthroughs") to nets that span multiple channels and
+// deriving the per-channel column intervals that define each channel's
+// detailed-routing problem. The heuristic follows the paper (§3.3): take the
+// free vertical segment run closest to the center of the net's bounding box.
+// The same primitive serves both the incremental in-the-loop router and the
+// sequential baseline's one-shot full global route.
+package groute
+
+import (
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/layout"
+)
+
+// Needs derives the channel intervals a net requires given the current
+// placement and pinmaps, before any trunk extension: one ChanAssign (with
+// Track == -1) per channel containing at least one of the net's pins, in
+// ascending channel order.
+func Needs(p *layout.Placement, id int32) []fabric.ChanAssign {
+	return appendNeeds(nil, p, id)
+}
+
+// appendNeeds appends the channel needs to dst (reusing its storage) and
+// returns it sorted by channel. Nets touch at most a handful of channels, so
+// linear insertion beats any map.
+func appendNeeds(dst []fabric.ChanAssign, p *layout.Placement, id int32) []fabric.ChanAssign {
+	n := &p.NL.Nets[id]
+	add := func(ch, col int) {
+		for i := range dst {
+			if dst[i].Ch == ch {
+				if col < dst[i].Lo {
+					dst[i].Lo = col
+				}
+				if col > dst[i].Hi {
+					dst[i].Hi = col
+				}
+				return
+			}
+		}
+		dst = append(dst, fabric.ChanAssign{Ch: ch, Lo: col, Hi: col, Track: -1})
+	}
+	ch, col := p.PinPos(n.Driver)
+	add(ch, col)
+	for _, s := range n.Sinks {
+		ch, col = p.PinPos(s)
+		add(ch, col)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Ch < dst[j].Ch })
+	return dst
+}
+
+// Route attempts to globally route net id into r, which must be in the reset
+// (unrouted) state. On success it allocates any vertical resources in f,
+// fills r.Chans with the channel intervals (all detail-unrouted), and returns
+// true. On failure r is left reset and false is returned.
+//
+// Single-channel nets need no vertical resources and always succeed. Nets
+// with no sinks are trivially globally routed with no resources at all.
+func Route(f *fabric.Fabric, p *layout.Placement, id int32, r *fabric.NetRoute) bool {
+	if len(p.NL.Nets[id].Sinks) == 0 {
+		r.Global = true
+		return true
+	}
+	chans := appendNeeds(r.Chans[:0], p, id)
+	r.Chans = chans[:0] // reclaim storage; refilled below on success
+	chLo := chans[0].Ch
+	chHi := chans[len(chans)-1].Ch
+	if chLo == chHi {
+		r.Global = true
+		r.Chans = append(r.Chans[:0], chans...)
+		return true
+	}
+
+	// Multi-channel: find a free vertical run covering [chLo, chHi], trying
+	// columns by increasing distance from the bounding-box center.
+	a := f.A
+	vLo, vHi := a.VSegRange(chLo, chHi)
+	colLo, colHi := chans[0].Lo, chans[0].Hi
+	for _, c := range chans[1:] {
+		if c.Lo < colLo {
+			colLo = c.Lo
+		}
+		if c.Hi > colHi {
+			colHi = c.Hi
+		}
+	}
+	center := (colLo + colHi) / 2
+	for d := 0; d < a.Cols; d++ {
+		cand := [2]int{center - d, center + d}
+		ncand := 2
+		if d == 0 {
+			ncand = 1
+		}
+		for _, col := range cand[:ncand] {
+			if col < 0 || col >= a.Cols {
+				continue
+			}
+			for vt := 0; vt < a.VTracks; vt++ {
+				if !f.VRangeFree(col, vt, vLo, vHi) {
+					continue
+				}
+				f.AllocV(col, vt, vLo, vHi, id)
+				r.Global = true
+				r.HasTrunk = true
+				r.TrunkCol, r.TrunkTrack = col, vt
+				r.VLo, r.VHi = vLo, vHi
+				r.Chans = r.Chans[:0]
+				for _, c := range chans {
+					if col < c.Lo {
+						c.Lo = col
+					}
+					if col > c.Hi {
+						c.Hi = col
+					}
+					r.Chans = append(r.Chans, c)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RipUp releases everything net id holds and resets its route descriptor.
+func RipUp(f *fabric.Fabric, id int32, r *fabric.NetRoute) {
+	f.RemoveRoute(id, r)
+	r.Reset()
+}
+
+// RouteAll globally routes every net from scratch in decreasing
+// estimated-length order (the sequential flow's one-shot global route, after
+// [7]). It returns the ids of nets that could not be globally routed.
+func RouteAll(f *fabric.Fabric, p *layout.Placement, routes []fabric.NetRoute) []int32 {
+	order := make([]int32, len(routes))
+	length := make([]float64, len(routes))
+	for i := range routes {
+		order[i] = int32(i)
+		length[i] = p.EstLength(int32(i))
+	}
+	sort.Slice(order, func(i, j int) bool { return length[order[i]] > length[order[j]] })
+	var failed []int32
+	for _, id := range order {
+		if !Route(f, p, id, &routes[id]) {
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}

@@ -1,0 +1,237 @@
+package groute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+)
+
+// chainNetlist builds pi -> g0 -> g1 -> ... -> g{n-1} -> po.
+func chainNetlist(n int) *netlist.Netlist {
+	b := netlist.NewBuilder("chain")
+	b.Input("pi", "n0")
+	for i := 0; i < n; i++ {
+		in := "n" + itoa(i)
+		b.Comb("g"+itoa(i), 3000, "n"+itoa(i+1), in)
+	}
+	b.Output("po", "n"+itoa(n))
+	return b.MustBuild()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func place(t *testing.T, p *layout.Placement, cell string, row, col int) {
+	t.Helper()
+	id := p.NL.CellID(cell)
+	if id < 0 {
+		t.Fatalf("no cell %q", cell)
+	}
+	p.Swap(p.Loc[id], layout.Loc{Row: row, Col: col})
+}
+
+func setup(t *testing.T, rows, cols int, nl *netlist.Netlist, seed int64) (*arch.Arch, *fabric.Fabric, *layout.Placement) {
+	t.Helper()
+	a := arch.MustNew(arch.Default(rows, cols, 8))
+	p, err := layout.NewRandom(a, nl, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, fabric.New(a), p
+}
+
+func TestSingleChannelNet(t *testing.T) {
+	nl := chainNetlist(2)
+	_, f, p := setup(t, 4, 10, nl, 1)
+	// Put g0 and g1 in the same row with pinmaps that place the connecting
+	// net's pins on the same channel.
+	place(t, p, "g0", 1, 2)
+	place(t, p, "g1", 1, 7)
+	g0 := nl.CellID("g0")
+	g1 := nl.CellID("g1")
+	p.SetPinmap(g0, 2) // output top -> channel 2
+	p.SetPinmap(g1, 3) // inputs top -> channel 2
+	n1 := nl.NetID("n1")
+	var r fabric.NetRoute
+	if !Route(f, p, n1, &r) {
+		t.Fatal("single-channel net failed to route globally")
+	}
+	if r.HasTrunk {
+		t.Error("single-channel net should not hold vertical resources")
+	}
+	if len(r.Chans) != 1 || r.Chans[0].Ch != 2 || r.Chans[0].Lo != 2 || r.Chans[0].Hi != 7 {
+		t.Errorf("bad channel need: %+v", r.Chans)
+	}
+	if f.UsedV() != 0 {
+		t.Error("vertical resources leaked")
+	}
+}
+
+func TestMultiChannelTrunkNearCenter(t *testing.T) {
+	nl := chainNetlist(2)
+	_, f, p := setup(t, 4, 10, nl, 2)
+	place(t, p, "g0", 0, 2)
+	place(t, p, "g1", 3, 8)
+	g0 := nl.CellID("g0")
+	g1 := nl.CellID("g1")
+	p.SetPinmap(g0, 3) // output bottom -> channel 0
+	p.SetPinmap(g1, 3) // inputs top -> channel 4
+	n1 := nl.NetID("n1")
+	var r fabric.NetRoute
+	if !Route(f, p, n1, &r) {
+		t.Fatal("route failed")
+	}
+	if !r.HasTrunk {
+		t.Fatal("expected trunk")
+	}
+	if r.TrunkCol != (2+8)/2 {
+		t.Errorf("trunk at column %d, want bbox center 5", r.TrunkCol)
+	}
+	if got := len(r.Chans); got != 2 {
+		t.Fatalf("channel needs = %d, want 2", got)
+	}
+	// Channel intervals extend to include the trunk column.
+	if r.Chans[0].Ch != 0 || r.Chans[0].Lo != 2 || r.Chans[0].Hi != 5 {
+		t.Errorf("channel 0 need %+v", r.Chans[0])
+	}
+	if r.Chans[1].Ch != 4 || r.Chans[1].Lo != 5 || r.Chans[1].Hi != 8 {
+		t.Errorf("channel 4 need %+v", r.Chans[1])
+	}
+	// Vertical run must cover channels 0..4.
+	vl, vh := f.A.VSegRange(0, 4)
+	if r.VLo != vl || r.VHi != vh {
+		t.Errorf("vertical run [%d,%d], want [%d,%d]", r.VLo, r.VHi, vl, vh)
+	}
+	routes := make([]fabric.NetRoute, nl.NumNets())
+	routes[n1] = r
+	if err := f.CheckConsistent(routes); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoSinkNetTrivial(t *testing.T) {
+	b := netlist.NewBuilder("dangling")
+	b.Input("pi", "a")
+	b.Comb("g", 1000, "unused", "a")
+	b.Output("po", "a")
+	nl := b.MustBuild()
+	_, f, p := setup(t, 2, 6, nl, 3)
+	var r fabric.NetRoute
+	if !Route(f, p, nl.NetID("unused"), &r) {
+		t.Fatal("sink-less net should route trivially")
+	}
+	if len(r.Chans) != 0 || r.HasTrunk {
+		t.Error("sink-less net should hold no resources")
+	}
+}
+
+func TestVerticalExhaustion(t *testing.T) {
+	nl := chainNetlist(2)
+	a, f, p := setup(t, 4, 10, nl, 4)
+	// Fill every vertical segment.
+	for c := 0; c < a.Cols; c++ {
+		for vt := 0; vt < a.VTracks; vt++ {
+			f.AllocV(c, vt, 0, a.NVSegs-1, 999)
+		}
+	}
+	place(t, p, "g0", 0, 2)
+	place(t, p, "g1", 3, 8)
+	p.SetPinmap(nl.CellID("g0"), 3)
+	p.SetPinmap(nl.CellID("g1"), 3)
+	var r fabric.NetRoute
+	if Route(f, p, nl.NetID("n1"), &r) {
+		t.Fatal("route should fail with no vertical resources")
+	}
+	if r.Global || r.HasTrunk || len(r.Chans) != 0 {
+		t.Error("failed route must leave descriptor reset")
+	}
+}
+
+func TestRipUpRestores(t *testing.T) {
+	nl := chainNetlist(2)
+	_, f, p := setup(t, 4, 10, nl, 5)
+	place(t, p, "g0", 0, 2)
+	place(t, p, "g1", 3, 8)
+	p.SetPinmap(nl.CellID("g0"), 3)
+	p.SetPinmap(nl.CellID("g1"), 3)
+	var r fabric.NetRoute
+	id := nl.NetID("n1")
+	if !Route(f, p, id, &r) {
+		t.Fatal("route failed")
+	}
+	RipUp(f, id, &r)
+	if f.UsedV() != 0 || f.UsedH() != 0 {
+		t.Error("RipUp leaked resources")
+	}
+	if r.Global {
+		t.Error("RipUp did not reset descriptor")
+	}
+}
+
+func TestRouteAllChain(t *testing.T) {
+	nl := chainNetlist(20)
+	_, f, p := setup(t, 6, 12, nl, 6)
+	routes := make([]fabric.NetRoute, nl.NumNets())
+	failed := RouteAll(f, p, routes)
+	if len(failed) != 0 {
+		t.Fatalf("%d nets failed global routing on an empty fabric", len(failed))
+	}
+	if err := f.CheckConsistent(routes); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on random placements, Route/RipUp cycles keep the fabric exactly
+// consistent and leak-free.
+func TestRouteRipupProperty(t *testing.T) {
+	nl := chainNetlist(15)
+	check := func(seed int64) bool {
+		a := arch.MustNew(arch.Default(5, 14, 6))
+		rng := rand.New(rand.NewSource(seed))
+		p, err := layout.NewRandom(a, nl, rng)
+		if err != nil {
+			return false
+		}
+		f := fabric.New(a)
+		routes := make([]fabric.NetRoute, nl.NumNets())
+		routed := map[int32]bool{}
+		for step := 0; step < 120; step++ {
+			id := int32(rng.Intn(nl.NumNets()))
+			if routed[id] {
+				RipUp(f, id, &routes[id])
+				delete(routed, id)
+			} else {
+				if Route(f, p, id, &routes[id]) {
+					routed[id] = true
+				}
+			}
+		}
+		if err := f.CheckConsistent(routes); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for id := range routed {
+			RipUp(f, id, &routes[id])
+		}
+		return f.UsedH() == 0 && f.UsedV() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

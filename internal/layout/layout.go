@@ -1,0 +1,187 @@
+// Package layout holds the geometric state of an evolving design: the
+// assignment of cells to module slots and the pinmap selected for each cell.
+// It maps logical pins to the (channel, column) positions the routers and the
+// delay model consume.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+// Loc is a module slot position.
+type Loc struct {
+	Row, Col int
+}
+
+// Placement is a complete, legal assignment of every cell to a distinct slot
+// plus a pinmap choice per cell. Intermediate layouts in both flows are
+// always legal placements (paper §3.2: no overlapping or unassigned cells).
+type Placement struct {
+	A  *arch.Arch
+	NL *netlist.Netlist
+
+	Slot [][]int32 // [row][col] -> cell id, or -1 when empty
+	Loc  []Loc     // per cell
+	Pm   []uint8   // per cell: pinmap variant index
+
+	pinmapCache map[int][]arch.Pinmap // palette keyed by input count
+}
+
+// NewRandom places all cells into random distinct slots with pinmap variant 0.
+func NewRandom(a *arch.Arch, nl *netlist.Netlist, rng *rand.Rand) (*Placement, error) {
+	n := nl.NumCells()
+	if n > a.Slots() {
+		return nil, fmt.Errorf("layout: %d cells exceed %d slots", n, a.Slots())
+	}
+	p := &Placement{
+		A:           a,
+		NL:          nl,
+		Loc:         make([]Loc, n),
+		Pm:          make([]uint8, n),
+		pinmapCache: make(map[int][]arch.Pinmap),
+	}
+	p.Slot = make([][]int32, a.Rows)
+	for r := range p.Slot {
+		p.Slot[r] = make([]int32, a.Cols)
+		for c := range p.Slot[r] {
+			p.Slot[r][c] = -1
+		}
+	}
+	perm := rng.Perm(a.Slots())
+	for i := 0; i < n; i++ {
+		s := perm[i]
+		r, c := s/a.Cols, s%a.Cols
+		p.Slot[r][c] = int32(i)
+		p.Loc[i] = Loc{Row: r, Col: c}
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy sharing only the immutable arch and netlist.
+func (p *Placement) Clone() *Placement {
+	q := &Placement{
+		A:           p.A,
+		NL:          p.NL,
+		Loc:         append([]Loc(nil), p.Loc...),
+		Pm:          append([]uint8(nil), p.Pm...),
+		pinmapCache: p.pinmapCache, // palette is immutable once built
+	}
+	q.Slot = make([][]int32, len(p.Slot))
+	for r := range p.Slot {
+		q.Slot[r] = append([]int32(nil), p.Slot[r]...)
+	}
+	return q
+}
+
+// CellAt returns the cell occupying slot (row, col), or -1.
+func (p *Placement) CellAt(row, col int) int32 { return p.Slot[row][col] }
+
+// Swap exchanges the contents of two slots; either (or both) may be empty.
+func (p *Placement) Swap(a, b Loc) {
+	ca, cb := p.Slot[a.Row][a.Col], p.Slot[b.Row][b.Col]
+	p.Slot[a.Row][a.Col], p.Slot[b.Row][b.Col] = cb, ca
+	if ca >= 0 {
+		p.Loc[ca] = b
+	}
+	if cb >= 0 {
+		p.Loc[cb] = a
+	}
+}
+
+// SetPinmap selects pinmap variant v for the cell.
+func (p *Placement) SetPinmap(cell int32, v uint8) { p.Pm[cell] = v }
+
+// Pinmap returns the cell's current pinmap.
+func (p *Placement) Pinmap(cell int32) arch.Pinmap {
+	if p.pinmapCache == nil {
+		p.pinmapCache = make(map[int][]arch.Pinmap)
+	}
+	k := len(p.NL.Cells[cell].In)
+	pal, ok := p.pinmapCache[k]
+	if !ok {
+		pal = make([]arch.Pinmap, arch.NumPinmaps)
+		for v := range pal {
+			pal[v] = arch.PinmapFor(k, v)
+		}
+		p.pinmapCache[k] = pal
+	}
+	return pal[p.Pm[cell]%arch.NumPinmaps]
+}
+
+// PinPos returns the channel and column a pin currently taps.
+func (p *Placement) PinPos(pin netlist.PinRef) (ch, col int) {
+	loc := p.Loc[pin.Cell]
+	side := p.Pinmap(pin.Cell)[pin.Pin]
+	return p.A.ChannelOf(loc.Row, side), loc.Col
+}
+
+// NetBox is a net's current bounding box in channel/column space.
+type NetBox struct {
+	ChLo, ChHi   int
+	ColLo, ColHi int
+}
+
+// NetBox computes the bounding box over all pin positions of the net.
+func (p *Placement) NetBox(netID int32) NetBox {
+	n := &p.NL.Nets[netID]
+	ch, col := p.PinPos(n.Driver)
+	box := NetBox{ChLo: ch, ChHi: ch, ColLo: col, ColHi: col}
+	for _, s := range n.Sinks {
+		ch, col = p.PinPos(s)
+		if ch < box.ChLo {
+			box.ChLo = ch
+		}
+		if ch > box.ChHi {
+			box.ChHi = ch
+		}
+		if col < box.ColLo {
+			box.ColLo = col
+		}
+		if col > box.ColHi {
+			box.ColHi = col
+		}
+	}
+	return box
+}
+
+// EstLength is the net-length estimate used to order the unroutable-net
+// queues (longer nets get routing priority) and to drive the baseline
+// placer's wirelength objective: half-perimeter with channels weighted by the
+// architecture's vertical span cost.
+func (p *Placement) EstLength(netID int32) float64 {
+	b := p.NetBox(netID)
+	return float64(b.ColHi-b.ColLo) + 2*float64(b.ChHi-b.ChLo)
+}
+
+// Validate checks slot/loc consistency: every cell placed exactly once and
+// every non-empty slot pointing back at its cell.
+func (p *Placement) Validate() error {
+	seen := make([]bool, p.NL.NumCells())
+	for r := range p.Slot {
+		for c, id := range p.Slot[r] {
+			if id < 0 {
+				continue
+			}
+			if int(id) >= len(seen) {
+				return fmt.Errorf("layout: slot (%d,%d) holds invalid cell %d", r, c, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("layout: cell %d placed twice", id)
+			}
+			seen[id] = true
+			if p.Loc[id] != (Loc{r, c}) {
+				return fmt.Errorf("layout: cell %d loc %v disagrees with slot (%d,%d)", id, p.Loc[id], r, c)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("layout: cell %d (%s) unplaced", id, p.NL.Cells[id].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package netgen
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestProfileCellCounts(t *testing.T) {
+	want := map[string]int{"s1": 181, "cse": 156, "ex1": 227, "bw": 158, "s1a": 163, "big529": 529}
+	for name, cells := range want {
+		p, ok := Profile(name)
+		if !ok {
+			t.Fatalf("profile %q missing", name)
+		}
+		if p.TotalCells() != cells {
+			t.Errorf("%s: params total %d, want %d", name, p.TotalCells(), cells)
+		}
+		nl, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if nl.NumCells() != cells {
+			t.Errorf("%s: generated %d cells, want %d", name, nl.NumCells(), cells)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+	}
+}
+
+func TestProfilesList(t *testing.T) {
+	for _, name := range Profiles() {
+		if _, ok := Profile(name); !ok {
+			t.Errorf("Profiles() lists unknown %q", name)
+		}
+	}
+	if _, ok := Profile("nonesuch"); ok {
+		t.Error("unknown profile reported present")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := Profile("s1")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := netlist.WriteNet(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteNet(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("same params produced different netlists")
+	}
+}
+
+func TestSeedChangesStructure(t *testing.T) {
+	p, _ := Profile("s1")
+	a, _ := Generate(p)
+	p.Seed++
+	b, _ := Generate(p)
+	var ba, bb bytes.Buffer
+	_ = netlist.WriteNet(&ba, a)
+	_ = netlist.WriteNet(&bb, b)
+	if ba.String() == bb.String() {
+		t.Error("different seeds produced identical netlists")
+	}
+}
+
+func TestStructurePlausible(t *testing.T) {
+	p, _ := Profile("ex1")
+	nl, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nl.ComputeStats()
+	if s.Inputs != p.Inputs || s.Outputs != p.Outputs || s.SeqCells != p.Seq || s.CombCells != p.Comb {
+		t.Errorf("type counts drifted: %+v vs %+v", s, p)
+	}
+	if s.MaxFanin > 4 {
+		t.Errorf("MaxFanin = %d, want <= 4", s.MaxFanin)
+	}
+	// Mapped-era FSM benchmarks run a handful to a dozen logic levels.
+	if s.LogicDepth < 5 || s.LogicDepth > 16 {
+		t.Errorf("LogicDepth = %d, outside plausible [5,16]", s.LogicDepth)
+	}
+	if s.AvgFanout < 0.8 || s.AvgFanout > 4 {
+		t.Errorf("AvgFanout = %v, implausible", s.AvgFanout)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Params{Name: "x", Inputs: 0, Outputs: 1, Comb: 1}); err == nil {
+		t.Error("zero inputs accepted")
+	}
+	if _, err := Generate(Params{Name: "x", Inputs: 1, Outputs: 0, Comb: 1}); err == nil {
+		t.Error("zero outputs accepted")
+	}
+	if _, err := Generate(Params{Name: "x", Inputs: 1, Outputs: 1, Comb: 0}); err == nil {
+		t.Error("zero comb cells accepted")
+	}
+}
+
+func TestSmallCustomDesign(t *testing.T) {
+	nl, err := Generate(Params{Name: "mini", Inputs: 3, Outputs: 2, Seq: 1, Comb: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 16 {
+		t.Errorf("cells = %d, want 16", nl.NumCells())
+	}
+	if _, err := nl.Levels(); err != nil {
+		t.Errorf("levelization failed: %v", err)
+	}
+}
+
+// The golden file pins down the exact output of the generator for the tiny
+// profile: any change to generation logic that silently alters every
+// benchmark (and with it all calibrated results) must show up here as a
+// deliberate golden update.
+func TestTinyGolden(t *testing.T) {
+	p, _ := Profile("tiny")
+	nl, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netlist.WriteNet(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/tiny.net.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(golden) {
+		t.Error("generator output changed; update testdata/tiny.net.golden only if the change is intentional")
+	}
+}

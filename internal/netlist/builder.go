@@ -1,0 +1,120 @@
+package netlist
+
+import "fmt"
+
+// Builder assembles a Netlist from cells declared against net names, the way
+// both parsers and the synthetic benchmark generator produce designs. Nets
+// are created implicitly the first time a name is mentioned; Build resolves
+// all references and checks single-driver discipline.
+type Builder struct {
+	name  string
+	cells []builderCell
+	err   error
+}
+
+type builderCell struct {
+	name   string
+	typ    CellType
+	delay  float64
+	out    string // output net name, "" if none
+	inputs []string
+}
+
+// NewBuilder starts a netlist named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddCell declares a cell. out is the name of the net driven by the cell's
+// output pin ("" for none, e.g. primary-output pads); inputs are the net
+// names feeding input pins 1..k in order. The first error sticks and is
+// reported by Build.
+func (b *Builder) AddCell(name string, typ CellType, delay float64, out string, inputs ...string) {
+	if b.err != nil {
+		return
+	}
+	if name == "" {
+		b.err = fmt.Errorf("netlist: builder: empty cell name")
+		return
+	}
+	ins := make([]string, len(inputs))
+	copy(ins, inputs)
+	b.cells = append(b.cells, builderCell{name: name, typ: typ, delay: delay, out: out, inputs: ins})
+}
+
+// Input declares a primary-input pad driving net out.
+func (b *Builder) Input(name, out string) { b.AddCell(name, Input, 0, out) }
+
+// Output declares a primary-output pad receiving net in.
+func (b *Builder) Output(name, in string) { b.AddCell(name, Output, 0, "", in) }
+
+// Comb declares a combinational cell.
+func (b *Builder) Comb(name string, delay float64, out string, inputs ...string) {
+	b.AddCell(name, Comb, delay, out, inputs...)
+}
+
+// Seq declares a sequential cell (flip-flop).
+func (b *Builder) Seq(name string, delay float64, out string, inputs ...string) {
+	b.AddCell(name, Seq, delay, out, inputs...)
+}
+
+// Build resolves names and returns a validated netlist.
+func (b *Builder) Build() (*Netlist, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	nl := &Netlist{Name: b.name}
+	netID := make(map[string]int32)
+	getNet := func(name string) int32 {
+		if id, ok := netID[name]; ok {
+			return id
+		}
+		id := int32(len(nl.Nets))
+		nl.Nets = append(nl.Nets, Net{Name: name, Driver: PinRef{Cell: -1}})
+		netID[name] = id
+		return id
+	}
+	for _, bc := range b.cells {
+		id := int32(len(nl.Cells))
+		c := Cell{Name: bc.name, Type: bc.typ, Delay: bc.delay, Out: -1}
+		if bc.out != "" {
+			nid := getNet(bc.out)
+			if nl.Nets[nid].Driver.Cell >= 0 {
+				return nil, fmt.Errorf("netlist: net %q has multiple drivers (%q and %q)",
+					bc.out, nl.Cells[nl.Nets[nid].Driver.Cell].Name, bc.name)
+			}
+			nl.Nets[nid].Driver = PinRef{Cell: id, Pin: 0}
+			c.Out = nid
+		}
+		c.In = make([]int32, len(bc.inputs))
+		for i, in := range bc.inputs {
+			if in == "" {
+				c.In[i] = -1
+				continue
+			}
+			nid := getNet(in)
+			nl.Nets[nid].Sinks = append(nl.Nets[nid].Sinks, PinRef{Cell: id, Pin: int32(i + 1)})
+			c.In[i] = nid
+		}
+		nl.Cells = append(nl.Cells, c)
+	}
+	for i := range nl.Nets {
+		if nl.Nets[i].Driver.Cell < 0 {
+			return nil, fmt.Errorf("netlist: net %q has no driver", nl.Nets[i].Name)
+		}
+	}
+	nl.rebuildIndex()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// MustBuild is Build but panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

@@ -1,0 +1,165 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny builds a small valid design:
+//
+//	pi_a -> g1 -> g2 -> po_x
+//	pi_b -> g1 ;  g2 also feeds ff1 -> g2 (feedback through the flop)
+func tiny(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("tiny")
+	b.Input("pi_a", "a")
+	b.Input("pi_b", "bb")
+	b.Comb("g1", 3000, "n1", "a", "bb")
+	b.Comb("g2", 3000, "n2", "n1", "q")
+	b.Seq("ff1", 3500, "q", "n2")
+	b.Output("po_x", "n2")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatalf("build tiny: %v", err)
+	}
+	return nl
+}
+
+func TestBuilderBasic(t *testing.T) {
+	nl := tiny(t)
+	if nl.NumCells() != 6 {
+		t.Errorf("cells = %d, want 6", nl.NumCells())
+	}
+	if nl.NumNets() != 5 {
+		t.Errorf("nets = %d, want 5", nl.NumNets())
+	}
+	if id := nl.CellID("g2"); id < 0 || nl.Cells[id].Type != Comb {
+		t.Errorf("CellID(g2) broken: %d", id)
+	}
+	if nl.CellID("nope") != -1 {
+		t.Error("CellID of missing cell should be -1")
+	}
+	n2 := nl.NetID("n2")
+	if n2 < 0 {
+		t.Fatal("net n2 missing")
+	}
+	if got := len(nl.Nets[n2].Sinks); got != 2 {
+		t.Errorf("n2 sinks = %d, want 2 (ff1 and po_x)", got)
+	}
+}
+
+func TestBuilderMultipleDrivers(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("p1", "x")
+	b.Input("p2", "x")
+	b.Output("o", "x")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "multiple drivers") {
+		t.Fatalf("expected multiple-driver error, got %v", err)
+	}
+}
+
+func TestBuilderUndrivenNet(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("p1", "x")
+	b.Comb("g", 1000, "y", "x", "ghost")
+	b.Output("o", "y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no driver") {
+		t.Fatalf("expected no-driver error, got %v", err)
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cyc")
+	b.Input("p", "a")
+	b.Comb("g1", 1000, "x", "a", "y")
+	b.Comb("g2", 1000, "y", "x")
+	b.Output("o", "y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestCycleThroughFlopIsFine(t *testing.T) {
+	nl := tiny(t) // g2 <- q <- ff1 <- n2 <- g2 is a loop broken by the flop
+	lv, err := nl.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	if lv[nl.CellID("pi_a")] != 0 || lv[nl.CellID("ff1")] != 0 {
+		t.Error("sources must be level 0")
+	}
+	if lv[nl.CellID("g1")] != 1 {
+		t.Errorf("g1 level = %d, want 1", lv[nl.CellID("g1")])
+	}
+	if lv[nl.CellID("g2")] != 2 {
+		t.Errorf("g2 level = %d, want 2", lv[nl.CellID("g2")])
+	}
+}
+
+func TestSourceSinkClassification(t *testing.T) {
+	nl := tiny(t)
+	if !nl.IsSource(nl.CellID("pi_a")) || !nl.IsSource(nl.CellID("ff1")) {
+		t.Error("primary inputs and flops must be timing sources")
+	}
+	if nl.IsSource(nl.CellID("g1")) {
+		t.Error("comb cell is not a source")
+	}
+	ff := nl.CellID("ff1")
+	if !nl.IsSinkPin(PinRef{Cell: ff, Pin: 1}) {
+		t.Error("flop data input must be a timing sink")
+	}
+	if nl.IsSinkPin(PinRef{Cell: ff, Pin: 0}) {
+		t.Error("flop output is not a timing sink")
+	}
+	po := nl.CellID("po_x")
+	if !nl.IsSinkPin(PinRef{Cell: po, Pin: 1}) {
+		t.Error("primary output input must be a timing sink")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	nl := tiny(t)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("valid netlist rejected: %v", err)
+	}
+	// Corrupt a sink reference.
+	bad := *nl
+	bad.Nets = append([]Net(nil), nl.Nets...)
+	bad.Nets[0].Sinks = append([]PinRef(nil), nl.Nets[0].Sinks...)
+	if len(bad.Nets[0].Sinks) > 0 {
+		bad.Nets[0].Sinks[0].Pin = 99
+		if err := bad.Validate(); err == nil {
+			t.Error("corrupted sink pin not detected")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	nl := tiny(t)
+	s := nl.ComputeStats()
+	if s.Cells != 6 || s.Nets != 5 || s.Inputs != 2 || s.Outputs != 1 || s.CombCells != 2 || s.SeqCells != 1 {
+		t.Errorf("bad counts: %+v", s)
+	}
+	if s.MaxFanin != 2 {
+		t.Errorf("MaxFanin = %d, want 2", s.MaxFanin)
+	}
+	// pi -> g1 -> g2 -> po_x: output pads sit one level past the last gate.
+	if s.LogicDepth != 3 {
+		t.Errorf("LogicDepth = %d, want 3", s.LogicDepth)
+	}
+}
+
+func TestParseCellType(t *testing.T) {
+	for _, s := range []string{"input", "output", "comb", "seq"} {
+		ct, err := ParseCellType(s)
+		if err != nil {
+			t.Fatalf("ParseCellType(%q): %v", s, err)
+		}
+		if ct.String() != s {
+			t.Errorf("round trip %q -> %v", s, ct)
+		}
+	}
+	if _, err := ParseCellType("bogus"); err == nil {
+		t.Error("bogus type accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNetlist builds a random valid layered design directly through the
+// Builder (independent of the netgen package, which has its own tests).
+func randomNetlist(rng *rand.Rand) *Netlist {
+	b := NewBuilder("prop")
+	nIn := 1 + rng.Intn(5)
+	var pool []string
+	for i := 0; i < nIn; i++ {
+		n := "i" + string(rune('a'+i))
+		b.Input("pi_"+n, n)
+		pool = append(pool, n)
+	}
+	nGates := 1 + rng.Intn(30)
+	for g := 0; g < nGates; g++ {
+		k := 1 + rng.Intn(3)
+		ins := make([]string, 0, k)
+		seen := map[string]bool{}
+		for j := 0; j < k; j++ {
+			n := pool[rng.Intn(len(pool))]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			ins = append(ins, n)
+		}
+		out := "n" + itoa(g)
+		if rng.Intn(6) == 0 {
+			b.Seq("ff"+itoa(g), 3500, out, ins[0])
+		} else {
+			b.Comb("g"+itoa(g), 3000, out, ins...)
+		}
+		pool = append(pool, out)
+	}
+	b.Output("po", pool[len(pool)-1])
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// Property: write → parse → write is a fixed point, and parsing preserves
+// structure and validity.
+func TestWriteParseFixedPointProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(rng)
+		var b1 bytes.Buffer
+		if err := WriteNet(&b1, nl); err != nil {
+			return false
+		}
+		again, err := ParseNet(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Logf("seed %d: reparse: %v", seed, err)
+			return false
+		}
+		if err := again.Validate(); err != nil {
+			t.Logf("seed %d: revalidate: %v", seed, err)
+			return false
+		}
+		var b2 bytes.Buffer
+		if err := WriteNet(&b2, again); err != nil {
+			return false
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Logf("seed %d: not a fixed point", seed)
+			return false
+		}
+		s1, s2 := nl.ComputeStats(), again.ComputeStats()
+		return s1 == s2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: levelization is a valid topological labelling — every comb/pad
+// cell sits strictly above all of its non-source fanins.
+func TestLevelsTopologicalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(rng)
+		lv, err := nl.Levels()
+		if err != nil {
+			return false
+		}
+		for i := range nl.Cells {
+			c := &nl.Cells[i]
+			if nl.IsSource(int32(i)) {
+				if lv[i] != 0 {
+					return false
+				}
+				continue
+			}
+			for _, in := range c.In {
+				if in < 0 {
+					continue
+				}
+				drv := nl.Nets[in].Driver.Cell
+				if !nl.IsSource(drv) && lv[i] <= lv[drv] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package partition implements Fiduccia-Mattheyses min-cut bipartitioning
+// (the paper's references [19][20], which it cites as the basis of FPGA
+// partitioning practice) with recursive bisection for k-way partitions, plus
+// netlist splitting: turning one design into per-chip netlists whose cut
+// signals become I/O pads. Very large logic circuits require multiple FPGA
+// chips (paper §2.2); this package provides that front-end to the layout
+// flows.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Config tunes partitioning.
+type Config struct {
+	Parts      int     // number of partitions; must be a power of two (default 2)
+	BalanceTol float64 // allowed relative deviation from perfect balance (default 0.10)
+	Passes     int     // max FM improvement passes per bisection (default 12)
+	Seed       int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Parts <= 0 {
+		c.Parts = 2
+	}
+	if c.BalanceTol <= 0 {
+		c.BalanceTol = 0.10
+	}
+	if c.Passes <= 0 {
+		c.Passes = 12
+	}
+}
+
+// Stats reports a finished partitioning.
+type Stats struct {
+	CutNets   int   // nets spanning more than one partition
+	PartSizes []int // cells per partition
+	Passes    int   // total FM passes executed
+}
+
+// Partition assigns every cell to one of cfg.Parts partitions, minimizing
+// the number of cut nets under the balance constraint. The result maps cell
+// id to partition id.
+func Partition(nl *netlist.Netlist, cfg Config) ([]int, Stats, error) {
+	cfg.setDefaults()
+	if cfg.Parts&(cfg.Parts-1) != 0 {
+		return nil, Stats{}, fmt.Errorf("partition: parts %d is not a power of two", cfg.Parts)
+	}
+	if cfg.Parts > nl.NumCells() {
+		return nil, Stats{}, fmt.Errorf("partition: %d parts for %d cells", cfg.Parts, nl.NumCells())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	part := make([]int, nl.NumCells())
+	var stats Stats
+	// Recursive bisection: at each level, split every current part in two.
+	for parts := 1; parts < cfg.Parts; parts *= 2 {
+		for p := 0; p < parts; p++ {
+			var members []int32
+			for c := range part {
+				if part[c] == p {
+					members = append(members, int32(c))
+				}
+			}
+			passes := bisect(nl, part, members, p, p+parts, cfg, rng)
+			stats.Passes += passes
+		}
+	}
+	stats.PartSizes = make([]int, cfg.Parts)
+	for _, p := range part {
+		stats.PartSizes[p]++
+	}
+	stats.CutNets = CutSize(nl, part)
+	return part, stats, nil
+}
+
+// CutSize counts nets whose pins span more than one partition.
+func CutSize(nl *netlist.Netlist, part []int) int {
+	cut := 0
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		p0 := part[n.Driver.Cell]
+		for _, s := range n.Sinks {
+			if part[s.Cell] != p0 {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// bisect splits members (currently all in part lo) between lo and hi using
+// FM passes; returns the number of passes run.
+func bisect(nl *netlist.Netlist, part []int, members []int32, lo, hi int, cfg Config, rng *rand.Rand) int {
+	if len(members) < 2 {
+		return 0
+	}
+	// Random balanced initial split.
+	perm := rng.Perm(len(members))
+	for i, idx := range perm {
+		if i < len(members)/2 {
+			part[members[idx]] = lo
+		} else {
+			part[members[idx]] = hi
+		}
+	}
+	f := newFM(nl, part, members, lo, hi, cfg)
+	passes := 0
+	for ; passes < cfg.Passes; passes++ {
+		if gain := f.pass(); gain <= 0 {
+			passes++
+			break
+		}
+	}
+	return passes
+}
+
+// fm holds the state of one bipartitioning instance. Only nets with at least
+// one pin among members participate; pins on cells outside members are fixed
+// anchors counted in the distribution but never moved.
+type fm struct {
+	nl   *netlist.Netlist
+	part []int
+	lo   int
+	hi   int
+
+	members []int32
+	inSet   []bool  // cell id -> participates
+	nets    []int32 // participating nets
+	netIdx  []int32 // net id -> index into counts, or -1
+
+	cnt [2][]int32 // per participating net: pins in lo (0) and hi (1)
+
+	maxCells int // balance bound: max cells allowed on one side
+
+	// Gain bucket structure.
+	maxGain int
+	buckets [][]int32 // gain+maxGain -> stack of cells (lazily cleaned)
+	gain    []int32   // per cell
+	locked  []bool
+	inLo    int // current number of member cells in lo
+}
+
+func newFM(nl *netlist.Netlist, part []int, members []int32, lo, hi int, cfg Config) *fm {
+	f := &fm{nl: nl, part: part, lo: lo, hi: hi, members: members}
+	f.inSet = make([]bool, nl.NumCells())
+	for _, c := range members {
+		f.inSet[c] = true
+	}
+	f.netIdx = make([]int32, nl.NumNets())
+	for i := range f.netIdx {
+		f.netIdx[i] = -1
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		touches := f.inSet[n.Driver.Cell]
+		for _, s := range n.Sinks {
+			if f.inSet[s.Cell] {
+				touches = true
+				break
+			}
+		}
+		if touches {
+			f.netIdx[i] = int32(len(f.nets))
+			f.nets = append(f.nets, int32(i))
+		}
+	}
+	f.cnt[0] = make([]int32, len(f.nets))
+	f.cnt[1] = make([]int32, len(f.nets))
+	half := len(members) / 2
+	slack := int(float64(len(members)) * cfg.BalanceTol / 2)
+	f.maxCells = half + 1 + slack
+	f.gain = make([]int32, nl.NumCells())
+	f.locked = make([]bool, nl.NumCells())
+	maxDeg := 1
+	for _, c := range members {
+		if d := nl.Cells[c].NumPins(); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	f.maxGain = maxDeg
+	f.buckets = make([][]int32, 2*maxDeg+1)
+	return f
+}
+
+// side returns 0 for lo, 1 for hi.
+func (f *fm) side(cell int32) int {
+	if f.part[cell] == f.lo {
+		return 0
+	}
+	return 1
+}
+
+// recount initializes the per-net pin distributions and each member's gain.
+func (f *fm) recount() {
+	for i := range f.nets {
+		f.cnt[0][i], f.cnt[1][i] = 0, 0
+	}
+	f.inLo = 0
+	forEachPinCell := func(netID int32, fn func(cell int32)) {
+		n := &f.nl.Nets[netID]
+		fn(n.Driver.Cell)
+		for _, s := range n.Sinks {
+			fn(s.Cell)
+		}
+	}
+	for i, netID := range f.nets {
+		forEachPinCell(netID, func(cell int32) {
+			f.cnt[f.side(cell)][i]++
+		})
+	}
+	for _, c := range f.members {
+		if f.side(c) == 0 {
+			f.inLo++
+		}
+	}
+	for i := range f.buckets {
+		f.buckets[i] = f.buckets[i][:0]
+	}
+	for _, c := range f.members {
+		f.locked[c] = false
+		f.gain[c] = f.computeGain(c)
+		f.pushBucket(c)
+	}
+}
+
+// computeGain is the FM gain of moving cell c to the other side.
+func (f *fm) computeGain(c int32) int32 {
+	from := f.side(c)
+	to := 1 - from
+	g := int32(0)
+	cell := &f.nl.Cells[c]
+	visit := func(netID int32) {
+		if netID < 0 {
+			return
+		}
+		i := f.netIdx[netID]
+		if i < 0 {
+			return
+		}
+		if f.cnt[from][i] == 1 {
+			g++
+		}
+		if f.cnt[to][i] == 0 {
+			g--
+		}
+	}
+	if cell.Out >= 0 {
+		visit(cell.Out)
+	}
+	for _, in := range cell.In {
+		visit(in)
+	}
+	return g
+}
+
+func (f *fm) pushBucket(c int32) {
+	idx := int(f.gain[c]) + f.maxGain
+	f.buckets[idx] = append(f.buckets[idx], c)
+}
+
+// popBest removes and returns the highest-gain unlocked cell whose move
+// keeps balance; returns -1 when none.
+func (f *fm) popBest() int32 {
+	for idx := len(f.buckets) - 1; idx >= 0; idx-- {
+		b := f.buckets[idx]
+		for len(b) > 0 {
+			c := b[len(b)-1]
+			b = b[:len(b)-1]
+			f.buckets[idx] = b
+			// Lazy deletion: skip stale entries.
+			if f.locked[c] || int(f.gain[c])+f.maxGain != idx {
+				continue
+			}
+			// Balance: moving from lo must keep lo nonempty within bounds.
+			if f.side(c) == 0 {
+				if len(f.members)-(f.inLo-1) > f.maxCells || f.inLo-1 < 1 {
+					continue
+				}
+			} else {
+				if f.inLo+1 > f.maxCells {
+					continue
+				}
+			}
+			return c
+		}
+	}
+	return -1
+}
+
+// move applies the move of cell c, updating distributions and neighbor gains.
+func (f *fm) move(c int32) {
+	from := f.side(c)
+	to := 1 - from
+	cell := &f.nl.Cells[c]
+	adjust := func(netID int32) {
+		if netID < 0 {
+			return
+		}
+		i := f.netIdx[netID]
+		if i < 0 {
+			return
+		}
+		// Before the move (standard FM gain-update rules).
+		if f.cnt[to][i] == 0 {
+			f.bumpNetGains(netID, +1) // net was uncut: all free cells on it gain
+		} else if f.cnt[to][i] == 1 {
+			f.bumpSoleCellGain(netID, to, -1)
+		}
+		f.cnt[from][i]--
+		f.cnt[to][i]++
+		if f.cnt[from][i] == 0 {
+			f.bumpNetGains(netID, -1)
+		} else if f.cnt[from][i] == 1 {
+			f.bumpSoleCellGain(netID, from, +1)
+		}
+	}
+	f.locked[c] = true
+	if from == 0 {
+		f.inLo--
+		f.part[c] = f.hi
+	} else {
+		f.inLo++
+		f.part[c] = f.lo
+	}
+	if cell.Out >= 0 {
+		adjust(cell.Out)
+	}
+	for _, in := range cell.In {
+		adjust(in)
+	}
+}
+
+// bumpNetGains adds delta to the gain of every free member cell on the net.
+func (f *fm) bumpNetGains(netID int32, delta int32) {
+	n := &f.nl.Nets[netID]
+	f.bumpCell(n.Driver.Cell, delta)
+	for _, s := range n.Sinks {
+		f.bumpCell(s.Cell, delta)
+	}
+}
+
+// bumpSoleCellGain adds delta to the single free cell on the given side of
+// the net, if any.
+func (f *fm) bumpSoleCellGain(netID int32, side int, delta int32) {
+	n := &f.nl.Nets[netID]
+	try := func(cell int32) {
+		if f.inSet[cell] && !f.locked[cell] && f.side(cell) == side {
+			f.bumpCell(cell, delta)
+		}
+	}
+	try(n.Driver.Cell)
+	for _, s := range n.Sinks {
+		try(s.Cell)
+	}
+}
+
+func (f *fm) bumpCell(cell int32, delta int32) {
+	if !f.inSet[cell] || f.locked[cell] {
+		return
+	}
+	f.gain[cell] += delta
+	f.pushBucket(cell)
+}
+
+// pass runs one FM pass: tentatively move every cell once in best-gain
+// order, then keep the prefix with the best cumulative gain. Returns that
+// best gain (0 means the pass found no improvement and was fully undone).
+func (f *fm) pass() int {
+	f.recount()
+	type rec struct{ cell int32 }
+	var order []rec
+	cum, best, bestAt := 0, 0, -1
+	for {
+		c := f.popBest()
+		if c < 0 {
+			break
+		}
+		cum += int(f.gain[c])
+		f.move(c)
+		order = append(order, rec{c})
+		if cum > best {
+			best = cum
+			bestAt = len(order) - 1
+		}
+	}
+	// Undo moves past the best prefix.
+	for i := len(order) - 1; i > bestAt; i-- {
+		c := order[i].cell
+		if f.part[c] == f.lo {
+			f.part[c] = f.hi
+		} else {
+			f.part[c] = f.lo
+		}
+	}
+	return best
+}

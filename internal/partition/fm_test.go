@@ -1,0 +1,203 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+)
+
+func testNetlist(t *testing.T, comb int, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netgen.Generate(netgen.Params{Name: "pt", Inputs: 6, Outputs: 4, Seq: 3, Comb: comb, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// twoClusters builds a netlist with two dense clusters joined by exactly one
+// net; FM must find the (nearly) ideal cut.
+func twoClusters(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("clusters")
+	mk := func(prefix string) string {
+		b.Input(prefix+"_pi", prefix+"_n0")
+		for i := 0; i < 12; i++ {
+			in1 := prefix + "_n" + itoa(i)
+			in2 := prefix + "_n" + itoa(i/2)
+			b.Comb(prefix+"_g"+itoa(i), 1000, prefix+"_n"+itoa(i+1), in1, in2)
+		}
+		b.Output(prefix+"_po", prefix+"_n12")
+		return prefix + "_n12"
+	}
+	a := mk("a")
+	_ = mk("b")
+	// Single bridge net between the clusters.
+	b.Comb("bridge", 1000, "bridge_out", a, "b_n3")
+	b.Output("bridge_po", "bridge_out")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func TestBipartitionClusters(t *testing.T) {
+	nl := twoClusters(t)
+	part, stats, err := Partition(nl, Config{Parts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clusters are joined by the bridge cell: an ideal cut severs at most
+	// a handful of nets. Random balanced cuts on this graph run ~20+.
+	if stats.CutNets > 6 {
+		t.Errorf("cut = %d, expected near-ideal (<= 6)", stats.CutNets)
+	}
+	// Cells of cluster "a" should be (almost) entirely on one side.
+	aSide := map[int]int{}
+	for id := range nl.Cells {
+		if len(nl.Cells[id].Name) > 1 && nl.Cells[id].Name[0] == 'a' {
+			aSide[part[id]]++
+		}
+	}
+	if len(aSide) > 1 {
+		minority := minInt(aSide[0], aSide[1])
+		if minority > 2 {
+			t.Errorf("cluster a split %v", aSide)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPartitionBalance(t *testing.T) {
+	nl := testNetlist(t, 60, 7)
+	for _, parts := range []int{2, 4} {
+		part, stats, err := Partition(nl, Config{Parts: parts, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stats.PartSizes) != parts {
+			t.Fatalf("parts = %d", len(stats.PartSizes))
+		}
+		ideal := nl.NumCells() / parts
+		for p, size := range stats.PartSizes {
+			if size < ideal*7/10 || size > ideal*13/10+1 {
+				t.Errorf("parts=%d: part %d size %d vs ideal %d", parts, p, size, ideal)
+			}
+		}
+		if got := CutSize(nl, part); got != stats.CutNets {
+			t.Errorf("reported cut %d, recount %d", stats.CutNets, got)
+		}
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	nl := testNetlist(t, 80, 9)
+	_, stats, err := Partition(nl, Config{Parts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average random balanced cut.
+	rng := rand.New(rand.NewSource(4))
+	total := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		part := make([]int, nl.NumCells())
+		perm := rng.Perm(nl.NumCells())
+		for j, idx := range perm {
+			if j >= nl.NumCells()/2 {
+				part[idx] = 1
+			}
+		}
+		total += CutSize(nl, part)
+	}
+	avgRandom := total / trials
+	if stats.CutNets >= avgRandom {
+		t.Errorf("FM cut %d not better than random average %d", stats.CutNets, avgRandom)
+	}
+	if stats.CutNets > avgRandom/2 {
+		t.Errorf("FM cut %d, want < half of random %d", stats.CutNets, avgRandom)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	nl := testNetlist(t, 20, 11)
+	if _, _, err := Partition(nl, Config{Parts: 3}); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, _, err := Partition(nl, Config{Parts: 1024}); err == nil {
+		t.Error("more parts than cells accepted")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	nl := testNetlist(t, 50, 13)
+	p1, s1, err := Partition(nl, Config{Parts: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err := Partition(nl, Config{Parts: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CutNets != s2.CutNets {
+		t.Error("cut size not deterministic")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+// Property: across random designs and seeds, partitioning preserves balance
+// bounds and never reports a cut different from a recount.
+func TestPartitionProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		nl, err := netgen.Generate(netgen.Params{
+			Name: "pp", Inputs: 3, Outputs: 2, Seq: 1,
+			Comb: 15 + int(seed%40+40)%40, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		part, stats, err := Partition(nl, Config{Parts: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if CutSize(nl, part) != stats.CutNets {
+			return false
+		}
+		diff := stats.PartSizes[0] - stats.PartSizes[1]
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= nl.NumCells()/4+2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Split materializes per-chip netlists from a partition assignment. A cut
+// net keeps its driver in the driver's chip, which gains an output pad
+// ("xo_<net>") exporting the signal; every other chip with sinks gains an
+// input pad ("xi_<net>") re-driving the net locally. The resulting netlists
+// are independently valid and placeable-and-routable; inter-chip timing is
+// outside the single-chip layout problem (paper §2.2: partitioners must
+// weigh intra- vs inter-chip delays).
+func Split(nl *netlist.Netlist, part []int, parts int) ([]*netlist.Netlist, error) {
+	if len(part) != nl.NumCells() {
+		return nil, fmt.Errorf("partition: assignment covers %d of %d cells", len(part), nl.NumCells())
+	}
+	builders := make([]*netlist.Builder, parts)
+	for p := range builders {
+		builders[p] = netlist.NewBuilder(fmt.Sprintf("%s_chip%d", nl.Name, p))
+	}
+	// Which chips need an import of each net.
+	needsImport := make([][]bool, parts)
+	for p := range needsImport {
+		needsImport[p] = make([]bool, nl.NumNets())
+	}
+	exported := make([]bool, nl.NumNets())
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		home := part[n.Driver.Cell]
+		for _, s := range n.Sinks {
+			if p := part[s.Cell]; p != home {
+				needsImport[p][i] = true
+				exported[i] = true
+			}
+		}
+	}
+	for id := range nl.Cells {
+		c := &nl.Cells[id]
+		p := part[id]
+		if p < 0 || p >= parts {
+			return nil, fmt.Errorf("partition: cell %q assigned to invalid part %d", c.Name, p)
+		}
+		out := ""
+		if c.Out >= 0 {
+			out = nl.Nets[c.Out].Name
+		}
+		ins := make([]string, len(c.In))
+		for i, in := range c.In {
+			if in >= 0 {
+				ins[i] = nl.Nets[in].Name
+			}
+		}
+		builders[p].AddCell(c.Name, c.Type, c.Delay, out, ins...)
+	}
+	for i := range nl.Nets {
+		if !exported[i] {
+			continue
+		}
+		name := nl.Nets[i].Name
+		home := part[nl.Nets[i].Driver.Cell]
+		builders[home].Output("xo_"+name, name)
+		for p := 0; p < parts; p++ {
+			if needsImport[p][i] {
+				builders[p].Input("xi_"+name, name)
+			}
+		}
+	}
+	out := make([]*netlist.Netlist, parts)
+	for p := range builders {
+		chip, err := builders[p].Build()
+		if err != nil {
+			return nil, fmt.Errorf("partition: chip %d: %w", p, err)
+		}
+		out[p] = chip
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestSplitTwoChips(t *testing.T) {
+	nl := twoClusters(t)
+	part, stats, err := Partition(nl, Config{Parts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := Split(nl, part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 2 {
+		t.Fatalf("%d chips", len(chips))
+	}
+	totalCells := 0
+	xo, xi := 0, 0
+	for p, chip := range chips {
+		if err := chip.Validate(); err != nil {
+			t.Fatalf("chip %d invalid: %v", p, err)
+		}
+		for i := range chip.Cells {
+			name := chip.Cells[i].Name
+			switch {
+			case len(name) > 3 && name[:3] == "xo_":
+				xo++
+			case len(name) > 3 && name[:3] == "xi_":
+				xi++
+			default:
+				totalCells++
+			}
+		}
+	}
+	if totalCells != nl.NumCells() {
+		t.Errorf("original cells across chips = %d, want %d", totalCells, nl.NumCells())
+	}
+	// Each cut net gets exactly one export and at least one import.
+	if xo != stats.CutNets {
+		t.Errorf("exports = %d, cut nets = %d", xo, stats.CutNets)
+	}
+	if xi < stats.CutNets {
+		t.Errorf("imports = %d < cut nets %d", xi, stats.CutNets)
+	}
+}
+
+func TestSplitFourChips(t *testing.T) {
+	nl := twoClusters(t)
+	part, _, err := Partition(nl, Config{Parts: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := Split(nl, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, chip := range chips {
+		if err := chip.Validate(); err != nil {
+			t.Fatalf("chip %d invalid: %v", p, err)
+		}
+	}
+}
+
+func TestSplitPreservesConnectivitySemantics(t *testing.T) {
+	// Hand-build: a -> g -> b with the two gates forced into separate chips.
+	b := netlist.NewBuilder("x")
+	b.Input("pi", "a")
+	b.Comb("g1", 1000, "m", "a")
+	b.Comb("g2", 1000, "y", "m")
+	b.Output("po", "y")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int, nl.NumCells())
+	part[nl.CellID("g2")] = 1
+	part[nl.CellID("po")] = 1
+	chips, err := Split(nl, part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chip 0 must export m; chip 1 must import it.
+	if chips[0].CellID("xo_m") < 0 {
+		t.Error("chip 0 missing export pad for m")
+	}
+	if chips[1].CellID("xi_m") < 0 {
+		t.Error("chip 1 missing import pad for m")
+	}
+	// Chip 1's g2 must be fed by the import.
+	c1 := chips[1]
+	g2 := c1.CellID("g2")
+	in := c1.Cells[g2].In[0]
+	if c1.Nets[in].Name != "m" {
+		t.Errorf("g2 input net %q", c1.Nets[in].Name)
+	}
+	if c1.Cells[c1.Nets[in].Driver.Cell].Name != "xi_m" {
+		t.Error("m not driven by import pad in chip 1")
+	}
+}
+
+func TestSplitBadAssignment(t *testing.T) {
+	nl := twoClusters(t)
+	part := make([]int, nl.NumCells())
+	part[0] = 9
+	if _, err := Split(nl, part, 2); err == nil {
+		t.Error("invalid part id accepted")
+	}
+	if _, err := Split(nl, part[:3], 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+}

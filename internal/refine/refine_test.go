@@ -1,0 +1,131 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/droute"
+	"repro/internal/fabric"
+	"repro/internal/groute"
+	"repro/internal/layout"
+	"repro/internal/netgen"
+	"repro/internal/timing"
+)
+
+// capacityCost emphasizes wastage over antifuse count — the embedding a
+// purely wirability-minded router would pick, leaving delay on the table for
+// the refinement pass to recover.
+func capacityCost() droute.Cost { return droute.Cost{WWaste: 4, WSegs: 0.5} }
+
+// refineSetup routes a design fully and returns everything TimingRefine needs.
+func refineSetup(t *testing.T, tracks int, seed int64) (*layout.Placement, *fabric.Fabric, []fabric.NetRoute, *timing.Analyzer) {
+	t.Helper()
+	nl, err := netgen.Generate(netgen.Params{Name: "rf", Inputs: 5, Outputs: 4, Seq: 2, Comb: 45, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.MustNew(arch.Default(6, 16, tracks))
+	rng := rand.New(rand.NewSource(seed))
+	p, err := layout.NewRandom(a, nl, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fabric.New(a)
+	routes := make([]fabric.NetRoute, nl.NumNets())
+	if failed := groute.RouteAll(f, p, routes); len(failed) > 0 {
+		t.Fatalf("%d global failures", len(failed))
+	}
+	if failed := droute.RouteAllDetailed(f, routes, capacityCost(), 4, rng); failed > 0 {
+		t.Fatalf("%d detail failures", failed)
+	}
+	an, err := timing.NewAnalyzer(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.Begin()
+	for id := range routes {
+		if len(nl.Nets[id].Sinks) == 0 {
+			continue
+		}
+		d, err := timing.NetDelays(p, int32(id), &routes[id], 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an.SetNetDelays(int32(id), d)
+	}
+	an.Propagate()
+	an.Commit()
+	return p, f, routes, an
+}
+
+func TestTimingRefineImprovesOrHolds(t *testing.T) {
+	p, f, routes, an := refineSetup(t, 30, 5)
+	before := an.WCD()
+	improved, err := TimingRefine(f, p, routes, an, capacityCost(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckConsistent(routes); err != nil {
+		t.Fatalf("refine corrupted fabric: %v", err)
+	}
+	for id := range routes {
+		if !routes[id].DetailDone() {
+			t.Fatalf("refine left net %d unrouted", id)
+		}
+	}
+	after := an.WCD()
+	if after > before+1e-9 {
+		t.Errorf("refine made WCD worse: %.1f -> %.1f", before, after)
+	}
+	if improved == 0 {
+		t.Error("refine found nothing to improve on a capacity-greedy routing")
+	}
+	if after >= before {
+		t.Errorf("refine did not reduce WCD: %.1f -> %.1f", before, after)
+	}
+	t.Logf("refine: %d nets improved, WCD %.1f -> %.1f ps", improved, before, after)
+
+	// The analyzer's incremental state must match a from-scratch rebuild.
+	ref, err := timing.NewAnalyzer(p.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Begin()
+	for id := range routes {
+		if len(p.NL.Nets[id].Sinks) == 0 {
+			continue
+		}
+		d, err := timing.NetDelays(p, int32(id), &routes[id], 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetNetDelays(int32(id), d)
+	}
+	got := ref.Propagate()
+	ref.Commit()
+	if diff := got - after; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("analyzer drifted through refine: %.3f vs %.3f", after, got)
+	}
+}
+
+func TestTimingRefineThresholdOne(t *testing.T) {
+	// Threshold slightly above 1 selects nothing and must change nothing.
+	p, f, routes, an := refineSetup(t, 30, 7)
+	before := make([]fabric.NetRoute, len(routes))
+	for i := range routes {
+		before[i] = routes[i].Clone()
+	}
+	improved, err := TimingRefine(f, p, routes, an, capacityCost(), 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved != 0 {
+		t.Errorf("improved = %d with empty selection", improved)
+	}
+	for i := range routes {
+		if !routes[i].Equal(&before[i]) {
+			t.Fatalf("net %d changed", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package render draws finished layouts as text, in the spirit of the
+// paper's Figure 7 (a plot of the routed 529-cell design): module rows with
+// cell occupancy by type interleaved with channel-occupancy density lines.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+)
+
+// ASCII renders the placement and routing. Cell glyphs: i = input pad,
+// o = output pad, c = combinational, s = sequential, . = empty. Channel
+// lines shade each column by the fraction of tracks occupied there.
+func ASCII(p *layout.Placement, routes []fabric.NetRoute) string {
+	a := p.A
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d cells on %d rows x %d cols, %d tracks/channel\n",
+		p.NL.Name, p.NL.NumCells(), a.Rows, a.Cols, a.Tracks)
+
+	cut := make([][]int, a.Channels())
+	for ch := range cut {
+		cut[ch] = make([]int, a.Cols)
+	}
+	for id := range routes {
+		r := &routes[id]
+		for i := range r.Chans {
+			ca := &r.Chans[i]
+			if !ca.Routed() {
+				continue
+			}
+			segs := a.Seg[ca.Track]
+			for c := segs[ca.SegLo].Start; c < segs[ca.SegHi].End; c++ {
+				cut[ca.Ch][c]++
+			}
+		}
+	}
+	shades := []byte(" .:-=+*#")
+	shade := func(n int) byte {
+		if n <= 0 {
+			return shades[0]
+		}
+		i := 1 + (len(shades)-2)*n/a.Tracks
+		if i >= len(shades) {
+			i = len(shades) - 1
+		}
+		return shades[i]
+	}
+	channelLine := func(ch int) {
+		fmt.Fprintf(&b, "ch%3d  |", ch)
+		peak := 0
+		for c := 0; c < a.Cols; c++ {
+			b.WriteByte(shade(cut[ch][c]))
+			if cut[ch][c] > peak {
+				peak = cut[ch][c]
+			}
+		}
+		fmt.Fprintf(&b, "| peak %d/%d\n", peak, a.Tracks)
+	}
+	typeChar := func(cell int32) byte {
+		if cell < 0 {
+			return '.'
+		}
+		switch p.NL.Cells[cell].Type {
+		case netlist.Input:
+			return 'i'
+		case netlist.Output:
+			return 'o'
+		case netlist.Seq:
+			return 's'
+		default:
+			return 'c'
+		}
+	}
+	for row := a.Rows - 1; row >= 0; row-- {
+		channelLine(row + 1)
+		fmt.Fprintf(&b, "row%3d |", row)
+		for c := 0; c < a.Cols; c++ {
+			b.WriteByte(typeChar(p.CellAt(row, c)))
+		}
+		b.WriteString("|\n")
+	}
+	channelLine(0)
+	return b.String()
+}

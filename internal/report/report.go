@@ -1,0 +1,107 @@
+// Package report renders the experiment results as the paper's tables and
+// as CSV series for the figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+)
+
+// Table1 renders the timing-improvement table (paper Table 1), with the
+// supporting absolute numbers and analyzer agreement the paper reports in
+// prose.
+func Table1(w io.Writer, rows []exper.Table1Row) error {
+	var b strings.Builder
+	b.WriteString("Table 1. Timing Improvement\n")
+	b.WriteString("design  #cells  seq WCD(ns)  sim WCD(ns)  %improvement  agreement  seq time   sim time\n")
+	b.WriteString("------  ------  -----------  -----------  ------------  ---------  ---------  ---------\n")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-6s  %6d  FAILED: %s\n", r.Design, r.Cells, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-6s  %6d  %11.2f  %11.2f  %12.1f  %9.3f  %9s  %9s\n",
+			r.Design, r.Cells, r.SeqWCD/1000, r.SimWCD/1000, r.ImprovePct, r.Agreement,
+			round(r.SeqTime), round(r.SimTime))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Table2 renders the wirability table (paper Table 2).
+func Table2(w io.Writer, rows []exper.Table2Row) error {
+	var b strings.Builder
+	b.WriteString("Table 2. Wirability Improvement (tracks/channel required)\n")
+	b.WriteString("design  #cells  seq P&R  sim P&R  %improvement\n")
+	b.WriteString("------  ------  -------  -------  ------------\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s  %6d  %7d  %7d  %12.1f\n",
+			r.Design, r.Cells, r.SeqTracks, r.SimTracks, r.ImprovePct)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Figure6CSV writes the annealing-dynamics trace as CSV: one row per
+// temperature with the three series the paper plots (plus supporting
+// columns).
+func Figure6CSV(w io.Writer, samples []core.DynamicsSample) error {
+	if _, err := fmt.Fprintln(w,
+		"step,temperature,pct_cells_perturbed,pct_nets_globally_unrouted,pct_nets_unrouted,wcd_ps,accept_ratio"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%d,%g,%.2f,%.2f,%.2f,%.1f,%.3f\n",
+			s.Step, s.Temp, 100*s.CellsPerturbed, 100*s.GlobalUnrouted, 100*s.Unrouted,
+			s.WCD, s.AcceptRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure7 renders the large-design completion report.
+func Figure7(w io.Writer, r exper.Figure7Result) error {
+	status := "100% routed"
+	if !r.FullyRouted {
+		status = "INCOMPLETE"
+	}
+	if _, err := fmt.Fprintf(w, "Figure 7. %d-cell design: %s, worst-case delay %.2f ns, %s\n",
+		r.Cells, status, r.WCD/1000, round(r.Elapsed)); err != nil {
+		return err
+	}
+	if r.Rendered != "" {
+		_, err := io.WriteString(w, r.Rendered)
+		return err
+	}
+	return nil
+}
+
+// SegSweep renders the segmentation-architecture study (not a paper table;
+// it quantifies the §1 segment-size tradeoff the architecture embodies).
+func SegSweep(w io.Writer, rows []exper.SegSweepRow) error {
+	var b strings.Builder
+	b.WriteString("Segmentation study (simultaneous flow, fixed channel capacity)\n")
+	b.WriteString("scheme  pattern               routed  WCD(ns)  antifuses\n")
+	b.WriteString("------  --------------------  ------  -------  ---------\n")
+	for _, r := range rows {
+		status := "yes"
+		if !r.FullyRouted {
+			status = "NO"
+		}
+		pat := strings.Trim(strings.ReplaceAll(fmt.Sprint(r.Pattern), " ", ","), "[]")
+		fmt.Fprintf(&b, "%-6s  %-20s  %-6s  %7.2f  %9d\n",
+			r.Scheme, pat, status, r.WCD/1000, r.Antifuses)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func round(d time.Duration) string {
+	return d.Round(10 * time.Millisecond).String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+)
+
+func TestTable1Format(t *testing.T) {
+	rows := []exper.Table1Row{
+		{Design: "s1", Cells: 181, SeqWCD: 80810, SimWCD: 60258, ImprovePct: 25.4,
+			Agreement: 0.954, SeqTime: 500 * time.Millisecond, SimTime: 6 * time.Second},
+		{Design: "bad", Cells: 100, Err: "sequential flow left 3 nets unrouted"},
+	}
+	var buf bytes.Buffer
+	if err := Table1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "s1", "80.81", "60.26", "25.4", "0.954", "FAILED", "3 nets unrouted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Format(t *testing.T) {
+	rows := []exper.Table2Row{
+		{Design: "cse", Cells: 156, SeqTracks: 23, SimTracks: 16, ImprovePct: 30.4},
+	}
+	var buf bytes.Buffer
+	if err := Table2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "cse", "23", "16", "30.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6CSV(t *testing.T) {
+	samples := []core.DynamicsSample{
+		{Step: 0, Temp: 10, CellsPerturbed: 1, GlobalUnrouted: 0.25, Unrouted: 0.5, WCD: 50000, AcceptRatio: 0.9},
+		{Step: 1, Temp: 5, CellsPerturbed: 0.4, GlobalUnrouted: 0, Unrouted: 0.1, WCD: 45000, AcceptRatio: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := Figure6CSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "step,temperature,") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "100.00") || !strings.Contains(lines[1], "50.00") {
+		t.Errorf("percentages not scaled: %s", lines[1])
+	}
+}
+
+func TestFigure7Format(t *testing.T) {
+	var buf bytes.Buffer
+	err := Figure7(&buf, exper.Figure7Result{
+		Design: "big529", Cells: 529, FullyRouted: true, WCD: 150000, Elapsed: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"529-cell", "100% routed", "150.00 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	buf.Reset()
+	_ = Figure7(&buf, exper.Figure7Result{Cells: 529, FullyRouted: false})
+	if !strings.Contains(buf.String(), "INCOMPLETE") {
+		t.Error("incomplete status not rendered")
+	}
+}

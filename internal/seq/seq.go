@@ -1,0 +1,174 @@
+// Package seq implements the traditional sequential layout flow the paper
+// compares against (its Figure 1, as embodied by the Texas Instruments
+// production system): timing-blind annealing placement [6], then one-shot
+// global routing [7], then segmented-channel detailed routing [11], then
+// post-layout static timing analysis. Each stage commits before the next
+// begins — the lack of feedback between stages is precisely the weakness the
+// simultaneous approach addresses.
+package seq
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/droute"
+	"repro/internal/fabric"
+	"repro/internal/groute"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/timing"
+)
+
+// Config tunes the sequential flow.
+type Config struct {
+	Seed          int64
+	Place         place.Config
+	RouteAttempts int         // detailed-routing ordering retries per channel (default 8)
+	DrouteCost    droute.Cost // zero value selects droute.DefaultCost
+
+	// TimingDriven enables the classic two-pass criticality-weighted
+	// placement: place once, estimate net criticalities from the placement's
+	// spatial extents, then re-place with critical nets weighted heavier.
+	// The paper (§2.1) explains why even this stronger sequential baseline
+	// struggles on row-based FPGAs: interconnect delay tracks antifuse
+	// count, not length, so placement-level criticality estimates mislead.
+	TimingDriven bool
+	// CritWeight scales how much a fully critical net's wirelength is
+	// amplified in the second pass (default 3).
+	CritWeight float64
+
+	// Negotiated selects the PathFinder-style negotiated-congestion detailed
+	// router instead of the paper-era ordered single-pass router — a
+	// post-paper extension offered for comparison.
+	Negotiated bool
+}
+
+func (c *Config) setDefaults() {
+	if c.RouteAttempts <= 0 {
+		c.RouteAttempts = 8
+	}
+	if c.CritWeight <= 0 {
+		c.CritWeight = 3
+	}
+	if c.DrouteCost == (droute.Cost{}) {
+		c.DrouteCost = droute.DefaultCost()
+	}
+	if c.Place.Seed == 0 {
+		c.Place.Seed = c.Seed
+	}
+}
+
+// Result is a finished sequential layout.
+type Result struct {
+	P      *layout.Placement
+	F      *fabric.Fabric
+	Routes []fabric.NetRoute
+
+	GlobalFailed  int // nets with no global route
+	DetailFailed  int // channel needs with no detailed route
+	UnroutedNets  int // nets lacking a complete detailed route (the paper's D)
+	FullyRouted   bool
+	WCD           float64 // worst-case delay (estimates fill in for unrouted nets)
+	PlaceResult   place.Result
+	CriticalCells []int32
+}
+
+// Run executes the complete sequential flow.
+func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+
+	p, pres, err := place.Place(a, nl, cfg.Place)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TimingDriven {
+		weights, werr := criticalityWeights(nl, p, cfg.CritWeight)
+		if werr != nil {
+			return nil, werr
+		}
+		pc := cfg.Place
+		pc.Seed++
+		pc.NetWeights = weights
+		p, pres, err = place.Place(a, nl, pc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	f := fabric.New(a)
+	routes := make([]fabric.NetRoute, nl.NumNets())
+	gFailed := groute.RouteAll(f, p, routes)
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	var dFailed int
+	if cfg.Negotiated {
+		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{})
+	} else {
+		dFailed = droute.RouteAllDetailed(f, routes, cfg.DrouteCost, cfg.RouteAttempts, rng)
+	}
+
+	res := &Result{
+		P:            p,
+		F:            f,
+		Routes:       routes,
+		GlobalFailed: len(gFailed),
+		DetailFailed: dFailed,
+		PlaceResult:  pres,
+	}
+	for id := range routes {
+		if !routes[id].DetailDone() {
+			res.UnroutedNets++
+		}
+	}
+	res.FullyRouted = res.UnroutedNets == 0
+
+	an, err := timing.NewAnalyzer(nl)
+	if err != nil {
+		return nil, err
+	}
+	an.Begin()
+	for id := range routes {
+		if len(nl.Nets[id].Sinks) == 0 {
+			continue
+		}
+		var d []float64
+		if routes[id].DetailDone() {
+			d, err = timing.NetDelays(p, int32(id), &routes[id], 1.0)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			d = timing.EstimateDelays(p, int32(id))
+		}
+		an.SetNetDelays(int32(id), d)
+	}
+	res.WCD = an.Propagate()
+	an.Commit()
+	res.CriticalCells = an.CriticalPath()
+	return res, nil
+}
+
+// criticalityWeights derives per-net placement weights from estimated delays
+// on the first-pass placement (no routing exists yet, exactly the
+// information a sequential timing-driven placer has).
+func criticalityWeights(nl *netlist.Netlist, p *layout.Placement, critWeight float64) ([]float64, error) {
+	an, err := timing.NewAnalyzer(nl)
+	if err != nil {
+		return nil, err
+	}
+	an.Begin()
+	for id := range nl.Nets {
+		if len(nl.Nets[id].Sinks) == 0 {
+			continue
+		}
+		an.SetNetDelays(int32(id), timing.EstimateDelays(p, int32(id)))
+	}
+	an.Propagate()
+	an.Commit()
+	crit := an.NetCriticality(an.WCD())
+	weights := make([]float64, nl.NumNets())
+	for i, c := range crit {
+		weights[i] = 1 + critWeight*c
+	}
+	return weights, nil
+}

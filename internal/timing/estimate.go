@@ -1,0 +1,56 @@
+package timing
+
+import (
+	"repro/internal/layout"
+)
+
+// EstimateDelays produces per-sink delay estimates for a net that is not
+// (fully) physically embedded, from its current spatial extent alone (paper
+// §3.5: "crude estimators that relate the known spatial extent of the net
+// ... to the probable number of antifuses it will encounter"). The estimate
+// is deliberately antifuse-aware rather than purely length-proportional: the
+// probable horizontal antifuse count grows with the column span divided by
+// the architecture's mean segment length, and every channel crossing implies
+// vertical segments and taps.
+func EstimateDelays(p *layout.Placement, id int32) []float64 {
+	return AppendEstimateDelays(nil, p, id)
+}
+
+// AppendEstimateDelays is EstimateDelays writing into dst's storage (reused
+// when capacity allows).
+func AppendEstimateDelays(dst []float64, p *layout.Placement, id int32) []float64 {
+	net := &p.NL.Nets[id]
+	if len(net.Sinks) == 0 {
+		return nil
+	}
+	a := p.A
+	rc := a.RC
+	box := p.NetBox(id)
+	dx := float64(box.ColHi - box.ColLo)
+	dch := float64(box.ChHi - box.ChLo)
+
+	estHSeg := 1 + dx/a.AvgSegLen()        // probable horizontal segments
+	estVSeg := dch / float64(a.VSpan)      // probable vertical segments
+	estAF := (estHSeg - 1) + estVSeg + dch // horizontal + vertical antifuses + channel taps
+	if dch > 0 {
+		estAF += 1 // trunk tap in the driver channel
+	}
+
+	// Total load the driver sees.
+	ctotal := rc.CUnit*dx + rc.CVUnit*dch + rc.CAntifuse*estAF +
+		rc.CCross*float64(1+len(net.Sinks)) + rc.CPin*float64(len(net.Sinks))
+	// Distributed path resistance to a typical far sink.
+	rpath := rc.RUnit*dx + rc.RVUnit*dch + rc.RAntifuse*estAF
+	base := (rc.RDriver+rc.RCross)*ctotal + 0.5*rpath*ctotal + rc.RCross*(rc.CCross+rc.CPin)
+
+	// All sinks of an unembedded net get the same bounding-box estimate;
+	// per-sink refinement only becomes meaningful once segments are known.
+	if cap(dst) < len(net.Sinks) {
+		dst = make([]float64, len(net.Sinks))
+	}
+	dst = dst[:len(net.Sinks)]
+	for i := range dst {
+		dst[i] = base
+	}
+	return dst
+}

@@ -1,0 +1,163 @@
+package timing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// SlackReport carries the results of a required-time analysis against a
+// delay target.
+type SlackReport struct {
+	Target float64   // the required time used (usually the WCD itself)
+	Slack  []float64 // per cell: required output time minus arrival
+}
+
+// Slacks runs a backward required-time propagation against target (pass the
+// current WCD to measure each cell's margin relative to the critical path;
+// cells on it get slack 0). Cells whose output reaches no timing sink get
+// +Inf slack.
+func (t *Analyzer) Slacks(target float64) SlackReport {
+	n := len(t.nl.Cells)
+	reqOut := make([]float64, n)
+	for i := range reqOut {
+		reqOut[i] = math.Inf(1)
+	}
+	// Walk cells in reverse level order; boundary sink pins require target.
+	for i := n - 1; i >= 0; i-- {
+		cell := t.order[i]
+		c := &t.nl.Cells[cell]
+		// Required at this cell's input pins.
+		var reqIn float64
+		switch c.Type {
+		case netlist.Output, netlist.Seq:
+			reqIn = target
+		default:
+			if math.IsInf(reqOut[cell], 1) {
+				continue
+			}
+			reqIn = reqOut[cell] - c.Delay
+		}
+		for pi, nid := range c.In {
+			if nid < 0 {
+				continue
+			}
+			drv := t.nl.Nets[nid].Driver.Cell
+			r := reqIn - t.netDelay[nid][t.sinkIdx[cell][pi]]
+			if r < reqOut[drv] {
+				reqOut[drv] = r
+			}
+		}
+	}
+	rep := SlackReport{Target: target, Slack: make([]float64, n)}
+	for i := range rep.Slack {
+		rep.Slack[i] = reqOut[i] - t.arr[i]
+	}
+	return rep
+}
+
+// NetCriticality returns, per net, 1 - slack/target clamped to [0,1]: 1 for
+// nets on the critical path, approaching 0 for timing-irrelevant nets. The
+// slack of a net is the minimum over its sink pins of
+// required(pin) - arrival(pin).
+func (t *Analyzer) NetCriticality(target float64) []float64 {
+	rep := t.Slacks(target)
+	out := make([]float64, t.nl.NumNets())
+	for i := range t.nl.Nets {
+		n := &t.nl.Nets[i]
+		minSlack := math.Inf(1)
+		for si, s := range n.Sinks {
+			c := &t.nl.Cells[s.Cell]
+			// required at pin = required at cell output - cell delay for
+			// comb; = target for boundary sinks.
+			var reqIn float64
+			switch c.Type {
+			case netlist.Output, netlist.Seq:
+				reqIn = target
+			default:
+				reqIn = rep.Slack[s.Cell] + t.arr[s.Cell] - c.Delay
+			}
+			arrAtPin := t.arr[n.Driver.Cell] + t.netDelay[i][si]
+			if sl := reqIn - arrAtPin; sl < minSlack {
+				minSlack = sl
+			}
+		}
+		if math.IsInf(minSlack, 1) || target <= 0 {
+			out[i] = 0
+			continue
+		}
+		crit := 1 - minSlack/target
+		if crit < 0 {
+			crit = 0
+		}
+		if crit > 1 {
+			crit = 1
+		}
+		out[i] = crit
+	}
+	return out
+}
+
+// Path is one register-to-register (or pad-to-pad) timing path.
+type Path struct {
+	Cells   []int32 // source first
+	Arrival float64 // arrival at the terminating sink pin
+}
+
+// TopPaths returns up to k paths, worst first, one per distinct terminating
+// sink pin (the classic per-endpoint view of critical paths).
+func (t *Analyzer) TopPaths(k int) []Path {
+	type endpoint struct {
+		pin netlist.PinRef
+		arr float64
+	}
+	eps := make([]endpoint, 0, len(t.sinkPins))
+	for _, p := range t.sinkPins {
+		eps = append(eps, endpoint{pin: p, arr: t.pinArrival(p)})
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].arr > eps[j].arr })
+	if k > len(eps) {
+		k = len(eps)
+	}
+	out := make([]Path, 0, k)
+	for _, ep := range eps[:k] {
+		out = append(out, Path{Cells: t.traceBack(ep.pin), Arrival: ep.arr})
+	}
+	return out
+}
+
+// traceBack walks upstream from a sink pin along worst-arrival inputs.
+func (t *Analyzer) traceBack(pin netlist.PinRef) []int32 {
+	var rev []int32
+	rev = append(rev, pin.Cell)
+	nid := t.nl.Cells[pin.Cell].In[pin.Pin-1]
+	cell := t.nl.Nets[nid].Driver.Cell
+	for {
+		rev = append(rev, cell)
+		if t.nl.IsSource(cell) {
+			break
+		}
+		c := &t.nl.Cells[cell]
+		best := int32(-1)
+		bv := math.Inf(-1)
+		for pi, in := range c.In {
+			if in < 0 {
+				continue
+			}
+			v := t.arr[t.nl.Nets[in].Driver.Cell] + t.netDelay[in][t.sinkIdx[cell][pi]]
+			if v > bv {
+				bv = v
+				best = t.nl.Nets[in].Driver.Cell
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cell = best
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,87 @@
+package wirepred
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/droute"
+	"repro/internal/fabric"
+	"repro/internal/groute"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+)
+
+// TestFigure2BlindSpot demonstrates the limitation the paper's Figure 2 and
+// §2.2 analysis identify: placement-level wirability prediction cannot see
+// segment boundaries. The two placements below present nearly identical
+// supply/demand pictures to the predictor, yet on the actual segmented
+// channel one routes 100% and the other cannot.
+func TestFigure2BlindSpot(t *testing.T) {
+	// One channel, one track, segments [0,2)[2,6)[6,8).
+	pa := arch.Default(1, 8, 1)
+	pa.SegPattern = []int{2, 4, 2}
+	pa.PhaseStep = 0
+	a := arch.MustNew(pa)
+
+	b := netlist.NewBuilder("fig2")
+	b.Input("d1", "N1")
+	b.Output("s1", "N1")
+	b.Input("d2", "N2")
+	b.Output("s2", "N2")
+	b.Input("d3", "N3")
+	b.Output("s3", "N3")
+	nl := b.MustBuild()
+
+	build := func(cols map[string]int) *layout.Placement {
+		p, err := layout.NewRandom(a, nl, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, col := range cols {
+			id := nl.CellID(name)
+			p.Swap(p.Loc[id], layout.Loc{Row: 0, Col: col})
+		}
+		for i := range nl.Cells {
+			// All pins on the bottom channel.
+			if nl.Cells[i].Type == netlist.Input {
+				p.SetPinmap(int32(i), 3)
+			} else {
+				p.SetPinmap(int32(i), 2)
+			}
+		}
+		return p
+	}
+	routes := func(p *layout.Placement) bool {
+		f := fabric.New(a)
+		rts := make([]fabric.NetRoute, nl.NumNets())
+		if failed := groute.RouteAll(f, p, rts); len(failed) > 0 {
+			return false
+		}
+		return droute.RouteAllDetailed(f, rts, droute.DefaultCost(), 4, rand.New(rand.NewSource(1))) == 0
+	}
+
+	// Placement A (the paper's "shorter" one): N1=[0,1] N2=[2,3] N3=[4,5].
+	pA := build(map[string]int{"d1": 0, "s1": 1, "d2": 2, "s2": 3, "d3": 4, "s3": 5})
+	// Placement B (cell moved): N1=[0,1] N2=[6,7] N3=[2,5].
+	pB := build(map[string]int{"d1": 0, "s1": 1, "d2": 6, "s2": 7, "d3": 2, "s3": 5})
+
+	if routes(pA) {
+		t.Fatal("placement A should be unroutable on this segmentation")
+	}
+	if !routes(pB) {
+		t.Fatal("placement B should route")
+	}
+
+	prA, prB := Predict(pA), Predict(pB)
+	// The predictor sees nearly the same picture for both: demand one track
+	// everywhere. It cannot distinguish the unroutable placement from the
+	// routable one.
+	if math.Abs(prA.Score-prB.Score) > 0.2 {
+		t.Errorf("predictor separated the placements (%.3f vs %.3f) — Figure-2 blindness expected",
+			prA.Score, prB.Score)
+	}
+	t.Logf("prediction scores: unroutable placement %.3f, routable placement %.3f (indistinguishable, as §2.2 argues)",
+		prA.Score, prB.Score)
+}

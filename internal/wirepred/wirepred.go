@@ -1,0 +1,124 @@
+// Package wirepred implements placement-level routability prediction in the
+// spirit of Chan et al. (the paper's reference [22], "On Routability
+// Prediction for Field Programmable Gate Arrays"): estimating, before any
+// routing is attempted, how likely a placement is to wire completely on the
+// given architecture. The paper cites this line of work as "a reaction to
+// the continuing difficulty of ensuring that complex designs can be packed
+// onto a specific FPGA architecture with 100% routability" — and its own
+// Figure 2 shows why such predictions are structurally limited on segmented
+// channels. This package provides the predictor both as a usable pre-route
+// check and as the foil for that limitation.
+package wirepred
+
+import (
+	"math"
+
+	"repro/internal/groute"
+	"repro/internal/layout"
+)
+
+// Prediction reports the estimated wirability of a placement.
+type Prediction struct {
+	// ChannelScore[ch] is the estimated probability channel ch routes
+	// completely, from a per-column supply/demand model.
+	ChannelScore []float64
+	// MaxAdjustedCut[ch] is the channel's peak segmentation-adjusted track
+	// demand (raw interval cut inflated by the expected segment wastage).
+	MaxAdjustedCut []float64
+	// Score is the product of the channel scores: the estimated probability
+	// the whole placement routes.
+	Score float64
+	// Routable is the binary call: every channel's adjusted peak demand fits
+	// the track supply.
+	Routable bool
+}
+
+// Predict analyzes the placement. It sees exactly what a placement-level
+// tool can see: pin positions and the architecture — no routing.
+func Predict(p *layout.Placement) Prediction {
+	a := p.A
+	cut := make([][]float64, a.Channels())
+	for ch := range cut {
+		cut[ch] = make([]float64, a.Cols)
+	}
+	// Demand: each net contributes its channel intervals, extended to the
+	// bounding-box-center feedthrough column the global router prefers.
+	for id := range p.NL.Nets {
+		if len(p.NL.Nets[id].Sinks) == 0 {
+			continue
+		}
+		needs := groute.Needs(p, int32(id))
+		if len(needs) > 1 {
+			box := p.NetBox(int32(id))
+			center := (box.ColLo + box.ColHi) / 2
+			for i := range needs {
+				if center < needs[i].Lo {
+					needs[i].Lo = center
+				}
+				if center > needs[i].Hi {
+					needs[i].Hi = center
+				}
+			}
+		}
+		for _, ca := range needs {
+			for c := ca.Lo; c <= ca.Hi; c++ {
+				cut[ca.Ch][c]++
+			}
+		}
+	}
+	// Supply adjustment: a net occupying an interval of length L holds whole
+	// segments, so its effective footprint is roughly L + avgSegLen/2 per
+	// free end; short intervals waste proportionally more. Model this as a
+	// per-column inflation of demand by the expected wastage ratio.
+	avgSeg := a.AvgSegLen()
+	pr := Prediction{
+		ChannelScore:   make([]float64, a.Channels()),
+		MaxAdjustedCut: make([]float64, a.Channels()),
+		Score:          1,
+		Routable:       true,
+	}
+	tracks := float64(a.Tracks)
+	for ch := range cut {
+		worst := 0.0
+		prob := 1.0
+		for x := 0; x < a.Cols; x++ {
+			if cut[ch][x] == 0 {
+				continue
+			}
+			// Average interval length crossing this column is unknown at
+			// this level; use the channel-wide mean demand to estimate it.
+			adj := cut[ch][x] * (1 + avgSeg/(2*meanRunLen(cut[ch], x)))
+			if adj > worst {
+				worst = adj
+			}
+			// Per-column success probability: logistic in the utilization,
+			// sharp near 100% (tracks are hard capacity).
+			u := adj / tracks
+			prob *= 1 / (1 + math.Exp(18*(u-1.02)))
+		}
+		pr.MaxAdjustedCut[ch] = worst
+		pr.ChannelScore[ch] = prob
+		pr.Score *= prob
+		if worst > tracks {
+			pr.Routable = false
+		}
+	}
+	return pr
+}
+
+// meanRunLen estimates the average contiguous demand run length around
+// column x — a proxy for the interval lengths crossing it.
+func meanRunLen(cut []float64, x int) float64 {
+	lo, hi := x, x
+	for lo > 0 && cut[lo-1] > 0 {
+		lo--
+	}
+	for hi < len(cut)-1 && cut[hi+1] > 0 {
+		hi++
+	}
+	l := float64(hi - lo + 1)
+	if l < 1 {
+		return 1
+	}
+	return l
+}

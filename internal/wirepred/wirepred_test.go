@@ -1,0 +1,106 @@
+package wirepred
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/droute"
+	"repro/internal/fabric"
+	"repro/internal/groute"
+	"repro/internal/layout"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func design(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl, err := netgen.Generate(netgen.Params{Name: "wp", Inputs: 5, Outputs: 4, Seq: 2, Comb: 45, Seed: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func placed(t *testing.T, nl *netlist.Netlist, tracks int) *layout.Placement {
+	t.Helper()
+	a := arch.MustNew(arch.Default(6, 16, tracks))
+	p, _, err := place.Place(a, nl, place.Config{Seed: 3, MovesPerCell: 6, MaxTemps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func actuallyRoutes(t *testing.T, p *layout.Placement) bool {
+	t.Helper()
+	f := fabric.New(p.A)
+	routes := make([]fabric.NetRoute, p.NL.NumNets())
+	gf := groute.RouteAll(f, p, routes)
+	df := droute.RouteAllDetailed(f, routes, droute.DefaultCost(), 4, rand.New(rand.NewSource(1)))
+	return len(gf) == 0 && df == 0
+}
+
+func TestScoreMonotoneInCapacity(t *testing.T) {
+	nl := design(t)
+	prev := -1.0
+	for _, tracks := range []int{4, 8, 14, 24, 40} {
+		p := placed(t, nl, tracks)
+		pr := Predict(p)
+		if pr.Score < 0 || pr.Score > 1 {
+			t.Fatalf("tracks=%d: score %v out of range", tracks, pr.Score)
+		}
+		if pr.Score < prev-0.15 {
+			t.Errorf("score dropped substantially with more tracks: %v -> %v at %d", prev, pr.Score, tracks)
+		}
+		if pr.Score > prev {
+			prev = pr.Score
+		}
+	}
+	// Generous capacity must predict near-certain routability.
+	p := placed(t, nl, 40)
+	if pr := Predict(p); pr.Score < 0.9 || !pr.Routable {
+		t.Errorf("40 tracks: score %v routable %v", pr.Score, pr.Routable)
+	}
+	// Starved capacity must predict failure.
+	p = placed(t, nl, 3)
+	if pr := Predict(p); pr.Score > 0.1 || pr.Routable {
+		t.Errorf("3 tracks: score %v routable %v", pr.Score, pr.Routable)
+	}
+}
+
+// The predictor must correlate with reality: clearly-routable and
+// clearly-unroutable instances are classified correctly. (Near the boundary
+// it may err either way — the paper's Figure 2 point.)
+func TestPredictionMatchesExtremes(t *testing.T) {
+	nl := design(t)
+	easy := placed(t, nl, 36)
+	if !actuallyRoutes(t, easy) {
+		t.Skip("36 tracks did not route; cannot test easy extreme")
+	}
+	if pr := Predict(easy); !pr.Routable {
+		t.Errorf("easy instance predicted unroutable (score %v)", pr.Score)
+	}
+	hard := placed(t, nl, 4)
+	if actuallyRoutes(t, hard) {
+		t.Skip("4 tracks routed; cannot test hard extreme")
+	}
+	if pr := Predict(hard); pr.Routable {
+		t.Errorf("hard instance predicted routable (score %v)", pr.Score)
+	}
+}
+
+func TestChannelDiagnostics(t *testing.T) {
+	nl := design(t)
+	p := placed(t, nl, 12)
+	pr := Predict(p)
+	if len(pr.ChannelScore) != p.A.Channels() || len(pr.MaxAdjustedCut) != p.A.Channels() {
+		t.Fatal("diagnostic arity wrong")
+	}
+	// Edge channels carry less demand than center channels.
+	if pr.MaxAdjustedCut[0] > pr.MaxAdjustedCut[p.A.Channels()/2] {
+		t.Errorf("edge channel busier than center: %v vs %v",
+			pr.MaxAdjustedCut[0], pr.MaxAdjustedCut[p.A.Channels()/2])
+	}
+}

@@ -1,0 +1,12 @@
+package repro
+
+import "repro/internal/render"
+
+// RenderASCII draws the layout as text, in the spirit of the paper's
+// Figure 7: one line per module row showing cell occupancy by type
+// (i = input pad, o = output pad, c = combinational, s = sequential,
+// . = empty slot), interleaved with one line per channel showing horizontal
+// track occupancy density at each column.
+func RenderASCII(l *Layout) string {
+	return render.ASCII(l.Placement, l.Routes)
+}

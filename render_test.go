@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCII(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Simultaneous(a, nl, SimConfig{Seed: 1, MovesPerCell: 5, MaxTemps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderASCII(lay)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// header + Rows row-lines + Rows+1 channel-lines
+	want := 1 + a.Rows + a.Channels()
+	if len(lines) != want {
+		t.Fatalf("%d lines, want %d:\n%s", len(lines), want, out)
+	}
+	// All cell glyphs accounted for: count i/o/c/s across row lines.
+	counts := map[byte]int{}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "row") {
+			continue
+		}
+		body := ln[strings.Index(ln, "|")+1 : strings.LastIndex(ln, "|")]
+		if len(body) != a.Cols {
+			t.Fatalf("row line body %d chars, want %d", len(body), a.Cols)
+		}
+		for i := 0; i < len(body); i++ {
+			counts[body[i]]++
+		}
+	}
+	st := nl.ComputeStats()
+	if counts['i'] != st.Inputs || counts['o'] != st.Outputs ||
+		counts['c'] != st.CombCells || counts['s'] != st.SeqCells {
+		t.Errorf("glyph counts %v do not match stats %+v", counts, st)
+	}
+	if lay.FullyRouted && !strings.Contains(out, "peak") {
+		t.Error("channel occupancy lines missing")
+	}
+}

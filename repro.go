@@ -1,0 +1,390 @@
+// Package repro is a from-scratch reproduction of "Performance-Driven
+// Simultaneous Place and Route for Row-Based FPGAs" (Nag & Rutenbar, DAC
+// 1994): a complete layout system for ACTEL-style antifuse row-based FPGAs
+// in which placement, global routing and detailed routing evolve inside one
+// simulated-annealing optimization under a routability + worst-case-delay
+// cost, plus the traditional sequential flow (TimberWolf-style placement →
+// one-shot global routing → segmented channel routing) the paper compares
+// against.
+//
+// Quick start:
+//
+//	nl, _ := repro.GenerateBenchmark("s1")
+//	a, _ := repro.ArchFor(nl, 38)
+//	lay, _ := repro.Simultaneous(a, nl, repro.SimConfig{Seed: 1})
+//	fmt.Printf("routed=%v worst-case delay=%.1f ns\n",
+//		lay.FullyRouted, lay.WCD/1000)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results of every table and figure.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/droute"
+	"repro/internal/exper"
+	"repro/internal/fabric"
+	"repro/internal/layio"
+	"repro/internal/layout"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/refine"
+	"repro/internal/seq"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+	"repro/internal/wirepred"
+)
+
+// Re-exported building blocks. The aliases expose the full documented API of
+// the underlying packages through the public module surface.
+type (
+	// Arch is a compiled row-based FPGA architecture.
+	Arch = arch.Arch
+	// ArchParams configures an architecture before compilation.
+	ArchParams = arch.Params
+	// Netlist is a technology-mapped design.
+	Netlist = netlist.Netlist
+	// Placement is a legal assignment of cells to module slots.
+	Placement = layout.Placement
+	// NetRoute is the segment-level disposition of one net.
+	NetRoute = fabric.NetRoute
+	// SimConfig tunes the simultaneous place-and-route optimizer.
+	SimConfig = core.Config
+	// SimResult is the simultaneous optimizer's run report.
+	SimResult = core.Result
+	// SeqConfig tunes the sequential baseline flow.
+	SeqConfig = seq.Config
+	// DynamicsSample is one temperature of the annealing dynamics trace.
+	DynamicsSample = core.DynamicsSample
+	// BenchmarkParams controls synthetic benchmark generation.
+	BenchmarkParams = netgen.Params
+)
+
+// NewArch compiles an architecture from parameters.
+func NewArch(p ArchParams) (*Arch, error) { return arch.New(p) }
+
+// DefaultArch returns a default-parameterized architecture of the given
+// geometry (mixed segmentation, era-plausible RC constants).
+func DefaultArch(rows, cols, tracks int) (*Arch, error) {
+	return arch.New(arch.Default(rows, cols, tracks))
+}
+
+// ArchFor sizes a default architecture to hold the netlist at roughly 55%
+// utilization with the given channel capacity.
+func ArchFor(nl *Netlist, tracks int) (*Arch, error) { return exper.ArchFor(nl, tracks) }
+
+// LoadNetlist reads a netlist file; the format is chosen by extension
+// (".net" native format, ".blif" BLIF subset, ".xnf" XNF subset).
+func LoadNetlist(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".net":
+		return netlist.ParseNet(f)
+	case ".blif":
+		return netlist.ParseBlif(f, netlist.DefaultBlifOptions())
+	case ".xnf":
+		return netlist.ParseXnf(f, netlist.DefaultXnfOptions())
+	default:
+		return nil, fmt.Errorf("repro: unknown netlist extension %q (want .net, .blif or .xnf)", filepath.Ext(path))
+	}
+}
+
+// SaveNetlist writes a netlist in the native .net format.
+func SaveNetlist(w io.Writer, nl *Netlist) error { return netlist.WriteNet(w, nl) }
+
+// GenerateBenchmark builds one of the named synthetic MCNC stand-ins
+// (s1, cse, ex1, bw, s1a, big529, tiny).
+func GenerateBenchmark(name string) (*Netlist, error) { return exper.Design(name) }
+
+// GenerateNetlist builds a synthetic netlist from explicit parameters.
+func GenerateNetlist(p BenchmarkParams) (*Netlist, error) { return netgen.Generate(p) }
+
+// Benchmarks lists the available benchmark names.
+func Benchmarks() []string { return netgen.Profiles() }
+
+// TechMapStats reports a technology-mapping run.
+type TechMapStats = techmap.Stats
+
+// TechMap legalizes a generic logic netlist to K-input FPGA modules (the
+// technology-mapping stage of the paper's Figure-1 flow): combinational
+// cells with more than k inputs are decomposed into balanced trees, and
+// single-fanout cells are absorbed into their fanout when the merged support
+// still fits (classic covering). Layouts consume the result.
+func TechMap(nl *Netlist, k int) (*Netlist, TechMapStats, error) {
+	return techmap.Map(nl, techmap.Options{K: k})
+}
+
+// PartitionResult reports a multi-chip partitioning.
+type PartitionResult struct {
+	Assign    []int      // per-cell partition id
+	CutNets   int        // nets crossing chips
+	PartSizes []int      // cells per chip
+	Chips     []*Netlist // independently valid per-chip netlists
+}
+
+// PartitionNetlist splits a design that is too large for one FPGA across
+// several chips (paper §2.2): Fiduccia-Mattheyses min-cut bipartitioning
+// with recursive bisection, then per-chip netlist extraction where cut
+// signals become I/O pads. parts must be a power of two.
+func PartitionNetlist(nl *Netlist, parts int, seed int64) (*PartitionResult, error) {
+	assign, stats, err := partition.Partition(nl, partition.Config{Parts: parts, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	chips, err := partition.Split(nl, assign, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionResult{
+		Assign:    assign,
+		CutNets:   stats.CutNets,
+		PartSizes: stats.PartSizes,
+		Chips:     chips,
+	}, nil
+}
+
+// Layout is a finished physical design: every cell placed, every net's
+// segment assignment, and its timing.
+type Layout struct {
+	Arch        *Arch
+	Netlist     *Netlist
+	Placement   *Placement
+	Routes      []NetRoute
+	FullyRouted bool
+	Unrouted    int     // nets lacking a complete detailed route
+	WCD         float64 // worst-case path delay, picoseconds
+
+	// Sim holds the simultaneous optimizer's run report (nil for layouts
+	// produced by the sequential flow).
+	Sim *SimResult
+}
+
+// Simultaneous runs the paper's simultaneous place-and-route optimization.
+func Simultaneous(a *Arch, nl *Netlist, cfg SimConfig) (*Layout, error) {
+	o, err := core.New(a, nl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := o.Run()
+	return &Layout{
+		Arch:        a,
+		Netlist:     nl,
+		Placement:   o.P,
+		Routes:      o.Rts,
+		FullyRouted: res.FullyRouted,
+		Unrouted:    res.D,
+		WCD:         res.WCD,
+		Sim:         &res,
+	}, nil
+}
+
+// Sequential runs the traditional place-then-route baseline flow.
+func Sequential(a *Arch, nl *Netlist, cfg SeqConfig) (*Layout, error) {
+	res, err := seq.Run(a, nl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Layout{
+		Arch:        a,
+		Netlist:     nl,
+		Placement:   res.P,
+		Routes:      res.Routes,
+		FullyRouted: res.FullyRouted,
+		Unrouted:    res.UnroutedNets,
+		WCD:         res.WCD,
+	}, nil
+}
+
+// Fmax returns the maximum clock frequency the layout supports in MHz
+// (1/WCD), the figure of merit behind the paper's "maximum achievable clock
+// speed" framing.
+func (l *Layout) Fmax() float64 {
+	if l.WCD <= 0 {
+		return 0
+	}
+	return 1e6 / l.WCD // ps -> MHz
+}
+
+// VerifyTiming re-analyzes the layout with the independent post-layout
+// delay model (the paper's RICE stand-in) and reports the agreement with the
+// layout's in-loop WCD. The layout must be fully routed.
+func (l *Layout) VerifyTiming() (wcd, agreement float64, err error) {
+	if !l.FullyRouted {
+		return 0, 0, fmt.Errorf("repro: layout is not fully routed")
+	}
+	res, err := timing.Verify(l.Placement, l.Routes, l.WCD)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.WCD, res.Agreement, nil
+}
+
+// RefineTiming applies a slack-driven rerouting post-pass (after Frankle's
+// iterative slack allocation, the paper's reference [13]): nets whose timing
+// criticality is at least critThreshold (use ~0.5) are re-embedded with the
+// antifuse-count term amplified, trading segment wastage for delay exactly
+// where slack demands it. The layout's routes and WCD are updated in place;
+// the pass never makes a net slower. Returns how many nets improved.
+func (l *Layout) RefineTiming(critThreshold float64) (int, error) {
+	if !l.FullyRouted {
+		return 0, fmt.Errorf("repro: layout is not fully routed")
+	}
+	f := fabric.New(l.Arch)
+	for id := range l.Routes {
+		f.InstallRoute(int32(id), &l.Routes[id])
+	}
+	an, err := l.analyzer()
+	if err != nil {
+		return 0, err
+	}
+	improved, err := refine.TimingRefine(f, l.Placement, l.Routes, an, droute.DefaultCost(), critThreshold)
+	if err != nil {
+		return improved, err
+	}
+	l.WCD = an.WCD()
+	return improved, nil
+}
+
+// WirabilityPrediction is the placement-level routability estimate of
+// internal/wirepred (after the paper's reference [22]).
+type WirabilityPrediction = wirepred.Prediction
+
+// PredictWirability estimates, from the placement alone (no routing
+// information), how likely the layout is to route completely — the kind of
+// stochastic prediction §2.2 describes, with the Figure-2 blindness that
+// motivates simultaneous place and route.
+func PredictWirability(l *Layout) WirabilityPrediction {
+	return wirepred.Predict(l.Placement)
+}
+
+// TimingPath is one reported critical path.
+type TimingPath struct {
+	CellNames []string
+	Arrival   float64 // ps at the terminating sink pin
+}
+
+// CriticalPaths analyzes the layout and returns up to k paths, worst first,
+// one per distinct timing endpoint.
+func (l *Layout) CriticalPaths(k int) ([]TimingPath, error) {
+	an, err := l.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	paths := an.TopPaths(k)
+	out := make([]TimingPath, len(paths))
+	for i, p := range paths {
+		tp := TimingPath{Arrival: p.Arrival}
+		for _, c := range p.Cells {
+			tp.CellNames = append(tp.CellNames, l.Netlist.Cells[c].Name)
+		}
+		out[i] = tp
+	}
+	return out, nil
+}
+
+// NetCriticalities returns, per net, how timing-critical the net is in this
+// layout: 1 on the critical path, toward 0 for timing-irrelevant nets.
+func (l *Layout) NetCriticalities() ([]float64, error) {
+	an, err := l.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	return an.NetCriticality(an.WCD()), nil
+}
+
+// analyzer builds a timing view of the layout's current routes.
+func (l *Layout) analyzer() (*timing.Analyzer, error) {
+	an, err := timing.NewAnalyzer(l.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	an.Begin()
+	for id := range l.Routes {
+		if len(l.Netlist.Nets[id].Sinks) == 0 {
+			continue
+		}
+		var d []float64
+		if l.Routes[id].DetailDone() {
+			d, err = timing.NetDelays(l.Placement, int32(id), &l.Routes[id], 1.0)
+			if err != nil {
+				an.Revert()
+				return nil, err
+			}
+		} else {
+			d = timing.EstimateDelays(l.Placement, int32(id))
+		}
+		an.SetNetDelays(int32(id), d)
+	}
+	an.Propagate()
+	an.Commit()
+	return an, nil
+}
+
+// Save serializes the layout (placement, pinmaps, every net's segment
+// assignment) in a canonical text format reloadable by LoadLayout.
+func (l *Layout) Save(w io.Writer) error {
+	return layio.Write(w, l.Placement, l.Routes)
+}
+
+// LoadLayout reads a layout saved by Save, validating it against the
+// architecture and netlist (geometry, placement legality, resource
+// exclusivity), and re-deriving routedness and timing.
+func LoadLayout(a *Arch, nl *Netlist, r io.Reader) (*Layout, error) {
+	p, routes, err := layio.Read(r, a, nl)
+	if err != nil {
+		return nil, err
+	}
+	l := &Layout{Arch: a, Netlist: nl, Placement: p, Routes: routes}
+	for id := range routes {
+		if !routes[id].DetailDone() {
+			l.Unrouted++
+		}
+	}
+	l.FullyRouted = l.Unrouted == 0
+	an, err := l.analyzer()
+	if err != nil {
+		return nil, err
+	}
+	l.WCD = an.WCD()
+	return l, nil
+}
+
+// WriteSummary prints a human-readable report of the layout.
+func (l *Layout) WriteSummary(w io.Writer) error {
+	st := l.Netlist.ComputeStats()
+	if _, err := fmt.Fprintf(w, "design %s: %d cells (%d comb, %d seq, %d+%d pads), %d nets\n",
+		l.Netlist.Name, st.Cells, st.CombCells, st.SeqCells, st.Inputs, st.Outputs, st.Nets); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "array  %d rows x %d cols, %d tracks/channel, %d vtracks/column\n",
+		l.Arch.Rows, l.Arch.Cols, l.Arch.Tracks, l.Arch.VTracks)
+	if l.FullyRouted {
+		fmt.Fprintf(w, "routing 100%% complete\n")
+	} else {
+		fmt.Fprintf(w, "routing INCOMPLETE: %d nets unrouted\n", l.Unrouted)
+	}
+	fmt.Fprintf(w, "worst-case delay %.2f ns\n", l.WCD/1000)
+	af, segs := 0, 0
+	for i := range l.Routes {
+		af += l.Routes[i].AntifuseCount()
+		for _, c := range l.Routes[i].Chans {
+			if c.Routed() {
+				segs += c.SegHi - c.SegLo + 1
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "resources %d horizontal segments, %d programmed antifuses\n", segs, af)
+	return err
+}

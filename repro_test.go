@@ -1,0 +1,287 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateBenchmarkNames(t *testing.T) {
+	for _, name := range Benchmarks() {
+		nl, err := GenerateBenchmark(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := GenerateBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestLoadSaveNetlist(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.net")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveNetlist(f, nl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadNetlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCells() != nl.NumCells() || got.NumNets() != nl.NumNets() {
+		t.Error("round trip changed design shape")
+	}
+	if _, err := LoadNetlist(filepath.Join(dir, "x.xyz")); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestLoadBlif(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.blif")
+	blif := ".model d\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n"
+	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := LoadNetlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "d" {
+		t.Errorf("model name %q", nl.Name)
+	}
+}
+
+func TestSimultaneousFacade(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Simultaneous(a, nl, SimConfig{Seed: 1, MovesPerCell: 6, MaxTemps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.FullyRouted {
+		t.Fatalf("tiny not routed: %d unrouted", lay.Unrouted)
+	}
+	if lay.Sim == nil || len(lay.Sim.Dynamics) == 0 {
+		t.Error("missing sim run report")
+	}
+	wcd, agreement, err := lay.VerifyTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcd <= 0 || agreement < 0.8 || agreement > 1.05 {
+		t.Errorf("verify: wcd=%v agreement=%v", wcd, agreement)
+	}
+	var buf bytes.Buffer
+	if err := lay.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"design tiny", "100% complete", "worst-case delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSequentialFacade(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SeqConfig{Seed: 1}
+	cfg.Place.MovesPerCell = 5
+	cfg.Place.MaxTemps = 40
+	lay, err := Sequential(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Sim != nil {
+		t.Error("sequential layout should not carry a sim report")
+	}
+	if lay.WCD <= 0 {
+		t.Error("no WCD")
+	}
+	if !lay.FullyRouted {
+		t.Skipf("tiny at 20 tracks unrouted for this seed")
+	}
+	if _, _, err := lay.VerifyTiming(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyTimingRejectsPartial(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DefaultArch(4, 10, 1) // starved
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SeqConfig{Seed: 1}
+	cfg.Place.MovesPerCell = 4
+	cfg.Place.MaxTemps = 30
+	lay, err := Sequential(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.FullyRouted {
+		t.Skip("unexpectedly routed")
+	}
+	if _, _, err := lay.VerifyTiming(); err == nil {
+		t.Error("VerifyTiming on partial layout should fail")
+	}
+}
+
+func TestLayoutSaveLoad(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Simultaneous(a, nl, SimConfig{Seed: 1, MovesPerCell: 5, MaxTemps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lay.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(a, nl, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FullyRouted != lay.FullyRouted || got.Unrouted != lay.Unrouted {
+		t.Error("routedness drifted through save/load")
+	}
+	if got.WCD != lay.WCD {
+		t.Errorf("WCD drifted: %v vs %v", got.WCD, lay.WCD)
+	}
+}
+
+func TestCriticalPathsFacade(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Simultaneous(a, nl, SimConfig{Seed: 1, MovesPerCell: 5, MaxTemps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := lay.CriticalPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	if paths[0].Arrival != lay.WCD {
+		t.Errorf("worst path %v != layout WCD %v", paths[0].Arrival, lay.WCD)
+	}
+	if len(paths[0].CellNames) < 2 {
+		t.Error("path too short")
+	}
+	crit, err := lay.NetCriticalities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, c := range crit {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 0.999 {
+		t.Errorf("no fully critical net (max %v)", max)
+	}
+}
+
+func TestRefineTimingFacade(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential layouts (timing-blind) leave the most on the table.
+	cfg := SeqConfig{Seed: 2}
+	cfg.Place.MovesPerCell = 5
+	cfg.Place.MaxTemps = 40
+	lay, err := Sequential(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.FullyRouted {
+		t.Skip("not routed at this seed")
+	}
+	before := lay.WCD
+	improved, err := lay.RefineTiming(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.WCD > before+1e-9 {
+		t.Errorf("refine worsened WCD: %v -> %v", before, lay.WCD)
+	}
+	t.Logf("refine improved %d nets, WCD %.1f -> %.1f", improved, before, lay.WCD)
+	// Layout must still be loadable/consistent.
+	var buf bytes.Buffer
+	if err := lay.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLayout(a, nl, &buf); err != nil {
+		t.Fatalf("refined layout fails validation: %v", err)
+	}
+}
+
+func TestPredictWirabilityFacade(t *testing.T) {
+	nl, err := GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArchFor(nl, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Simultaneous(a, nl, SimConfig{Seed: 1, MovesPerCell: 5, MaxTemps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PredictWirability(lay)
+	if !pr.Routable || pr.Score < 0.5 {
+		t.Errorf("routed layout predicted unroutable: score %v", pr.Score)
+	}
+}
