@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -112,6 +113,45 @@ func BenchmarkFlowRuntimeSim(b *testing.B) {
 			b.Fatal(err)
 		}
 		o.Run()
+	}
+}
+
+// BenchmarkAnnealChains compares the serial engine against K-chain portfolio
+// annealing at identical per-chain effort, on a routing-constrained instance
+// (18 tracks, short schedule) where single-chain outcomes vary with the seed.
+// The portfolio's champion routes the design completely where the serial run
+// leaves nets unrouted — the quality gap shows in the final-cost and unrouted
+// metrics. Wall-clock is the benchmark's own ns/op: chains step concurrently,
+// so with K idle cores the K-chain run costs roughly serial wall-clock; on
+// fewer cores it degrades gracefully toward K× (scheduling never changes the
+// result either way).
+func BenchmarkAnnealChains(b *testing.B) {
+	for _, chains := range []int{1, 4} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			nl, err := exper.Design("cse")
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := exper.ArchFor(nl, 18)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := core.New(a, nl, core.Config{
+					Seed: 1, MovesPerCell: 3, MaxTemps: 40,
+					Chains: chains,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, res := o.RunParallel()
+				b.ReportMetric(res.WCD/1000, "wcd-ns")
+				b.ReportMetric(res.FinalCost, "final-cost")
+				b.ReportMetric(float64(res.D), "unrouted")
+				b.ReportMetric(float64(res.Restarts), "restarts")
+			}
+		})
 	}
 }
 

@@ -31,16 +31,18 @@ func main() {
 		wirability  = flag.Bool("wirability-only", false, "simultaneous flow: optimize routability only (no timing term)")
 		renderOut   = flag.Bool("render", false, "print an ASCII rendering of the finished layout")
 		maxFanin    = flag.Int("maxfanin", 0, "technology-map the netlist to this module fanin first (0 = netlist must already be legal)")
+		chains      = flag.Int("chains", 1, "simultaneous flow: parallel annealing chains (1 = serial engine)")
+		workers     = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only, never results)")
 	)
 	flag.Parse()
 
-	if err := run(*netlistPath, *design, *flow, *tracks, *seed, *effortFlag, *maxTemps, *wirability, *renderOut, *maxFanin); err != nil {
+	if err := run(*netlistPath, *design, *flow, *tracks, *seed, *effortFlag, *maxTemps, *wirability, *renderOut, *maxFanin, *chains, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgapr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTemps int, wirability, renderOut bool, maxFanin int) error {
+func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTemps int, wirability, renderOut bool, maxFanin, chains, workers int) error {
 	var (
 		nl  *repro.Netlist
 		err error
@@ -84,6 +86,8 @@ func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTe
 			MovesPerCell:  effort,
 			MaxTemps:      maxTemps,
 			DisableTiming: wirability,
+			Chains:        chains,
+			Workers:       workers,
 		})
 	case "seq":
 		cfg := repro.SeqConfig{Seed: seed}
@@ -99,6 +103,10 @@ func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTe
 
 	if err := lay.WriteSummary(os.Stdout); err != nil {
 		return err
+	}
+	if lay.Sim != nil && lay.Sim.Chains > 1 {
+		fmt.Printf("parallel anneal: %d chains, champion %d, %d elite-migration restarts\n",
+			lay.Sim.Chains, lay.Sim.Champion, lay.Sim.Restarts)
 	}
 	if lay.FullyRouted {
 		wcd, agreement, err := lay.VerifyTiming()

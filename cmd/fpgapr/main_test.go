@@ -8,19 +8,25 @@ import (
 )
 
 func TestRunSimOnTiny(t *testing.T) {
-	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0); err != nil {
+	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimParallelChains(t *testing.T) {
+	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSeqOnTiny(t *testing.T) {
-	if err := run("", "tiny", "seq", 20, 1, 5, 40, false, false, 0); err != nil {
+	if err := run("", "tiny", "seq", 20, 1, 5, 40, false, false, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWirabilityOnlyAndRender(t *testing.T) {
-	if err := run("", "tiny", "sim", 20, 1, 5, 40, true, true, 0); err != nil {
+	if err := run("", "tiny", "sim", 20, 1, 5, 40, true, true, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,7 +38,7 @@ func TestRunFromNetlistFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 0); err != nil {
+	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,10 +49,10 @@ func TestRunErrors(t *testing.T) {
 		f    func() error
 		want string
 	}{
-		{"both sources", func() error { return run("x.net", "tiny", "sim", 20, 1, 5, 40, false, false, 0) }, "not both"},
-		{"no source", func() error { return run("", "", "sim", 20, 1, 5, 40, false, false, 0) }, "need -netlist"},
-		{"bad flow", func() error { return run("", "tiny", "diagonal", 20, 1, 5, 40, false, false, 0) }, "unknown -flow"},
-		{"bad design", func() error { return run("", "nonesuch", "sim", 20, 1, 5, 40, false, false, 0) }, "unknown design"},
+		{"both sources", func() error { return run("x.net", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "not both"},
+		{"no source", func() error { return run("", "", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "need -netlist"},
+		{"bad flow", func() error { return run("", "tiny", "diagonal", 20, 1, 5, 40, false, false, 0, 1, 0) }, "unknown -flow"},
+		{"bad design", func() error { return run("", "nonesuch", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "unknown design"},
 	}
 	for _, tc := range cases {
 		err := tc.f()
@@ -64,7 +70,7 @@ func TestRunWithTechMapping(t *testing.T) {
 	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 4); err != nil {
+	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 4, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -35,6 +35,8 @@ func main() {
 		csvPath  = flag.String("csv", "", "write Figure 6 series to this CSV file (default stdout)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		design   = flag.String("design", "s1", "design for -figure6 and -runtime")
+		chains   = flag.Int("chains", 1, "parallel annealing chains for the simultaneous flow (1 = serial)")
+		workers  = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,13 @@ func main() {
 	if *fast {
 		e = exper.FastEffort()
 	}
-	fmt.Printf("effort: %s\n\n", e.Name)
+	e.Chains = *chains
+	e.Workers = *workers
+	if e.Chains > 1 {
+		fmt.Printf("effort: %s (%d parallel chains)\n\n", e.Name, e.Chains)
+	} else {
+		fmt.Printf("effort: %s\n\n", e.Name)
+	}
 
 	if err := run(*table1, *table2, *figure6, *figure7, *runtime, e, *seed, *design, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)

@@ -88,84 +88,158 @@ type Result struct {
 	Accepted   int
 }
 
-// Run anneals the problem. onTemp, if non-nil, is called after every
-// temperature (including the warmup walk, reported as step 0 with the
+// Run anneals the problem to completion. onTemp, if non-nil, is called after
+// every temperature (including the warmup walk, reported as step 0 with the
 // starting temperature).
 func Run(p Problem, cfg Config, onTemp func(TempStats)) Result {
-	cfg.setDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := NewChain(p, cfg, onTemp)
+	for c.Step() {
+	}
+	return c.Result()
+}
 
-	// Warmup random walk: accept everything, measure the cost spread.
+// Chain is a resumable annealing run: the same loop Run executes, broken into
+// explicit temperature steps so that several chains can be advanced in
+// lockstep (the parallel portfolio engine synchronizes chains at temperature
+// boundaries). Driving a Chain with Step until Done is bit-identical to Run.
+type Chain struct {
+	p      Problem
+	cfg    Config
+	rng    *rand.Rand
+	onTemp func(TempStats)
+
+	started bool
+	done    bool
+	temp    float64
+	best    float64
+	frozen  int
+	step    int
+	res     Result
+}
+
+// NewChain prepares a chain; no moves are made until the first Step.
+func NewChain(p Problem, cfg Config, onTemp func(TempStats)) *Chain {
+	cfg.setDefaults()
+	return &Chain{p: p, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), onTemp: onTemp}
+}
+
+// Problem returns the chain's current problem state.
+func (c *Chain) Problem() Problem { return c.p }
+
+// Done reports whether the chain has terminated (frozen or out of
+// temperature budget).
+func (c *Chain) Done() bool { return c.done }
+
+// Temps returns the number of completed temperature steps (excluding warmup).
+func (c *Chain) Temps() int { return c.step }
+
+// Result reports the chain's run so far.
+func (c *Chain) Result() Result {
+	r := c.res
+	r.FinalCost = c.p.Cost()
+	r.BestCost = c.best
+	return r
+}
+
+// Step advances the chain by one unit — the warmup walk on the first call,
+// one full temperature afterwards — and reports whether work was done. It
+// returns false once the chain is finished.
+func (c *Chain) Step() bool {
+	if c.done {
+		return false
+	}
+	if !c.started {
+		c.warmup()
+		return true
+	}
+	c.step++
+	var st stats
+	accepted := 0
+	bestBefore := c.best
+	for i := 0; i < c.cfg.MovesPerTemp; i++ {
+		d := c.p.Propose(c.rng)
+		if d <= 0 || c.rng.Float64() < math.Exp(-d/c.temp) {
+			c.p.Accept()
+			accepted++
+		} else {
+			c.p.Reject()
+		}
+		cost := c.p.Cost()
+		st.add(cost)
+		if cost < c.best {
+			c.best = cost
+		}
+	}
+	c.res.TotalMoves += c.cfg.MovesPerTemp
+	c.res.Accepted += accepted
+	c.res.Temps = c.step
+	ratio := float64(accepted) / float64(c.cfg.MovesPerTemp)
+	improved := c.best < bestBefore
+	if c.onTemp != nil {
+		c.onTemp(TempStats{Step: c.step, Temp: c.temp, Moves: c.cfg.MovesPerTemp, Accepted: accepted,
+			Cost: c.p.Cost(), BestCost: c.best, StdCost: st.std()})
+	}
+	// A temperature is stagnant when it neither improved the best nor
+	// shows real cost movement: acceptance collapsed, or all accepted
+	// moves were zero-delta plateau wandering.
+	if !improved && (ratio < c.cfg.AcceptFloor || st.std() == 0) {
+		c.frozen++
+		if c.frozen >= c.cfg.FrozenTemps {
+			c.done = true
+			return true
+		}
+	} else {
+		c.frozen = 0
+	}
+	// Huang et al. adaptive decrement, bounded to avoid quenching.
+	dec := math.Exp(-c.cfg.Lambda * c.temp / math.Max(st.std(), 1e-9))
+	if dec < c.cfg.MinDecrement {
+		dec = c.cfg.MinDecrement
+	}
+	if dec > 0.995 {
+		dec = 0.995
+	}
+	c.temp *= dec
+	if c.step >= c.cfg.MaxTemps {
+		c.done = true
+	}
+	return true
+}
+
+// warmup is the initial random walk: accept everything, measure the cost
+// spread, derive the starting temperature.
+func (c *Chain) warmup() {
 	var warm stats
-	for i := 0; i < cfg.MovesPerTemp; i++ {
-		p.Propose(rng)
-		p.Accept()
-		warm.add(p.Cost())
+	for i := 0; i < c.cfg.MovesPerTemp; i++ {
+		c.p.Propose(c.rng)
+		c.p.Accept()
+		warm.add(c.p.Cost())
 	}
 	sigma := warm.std()
 	if sigma <= 0 {
-		sigma = math.Max(1, math.Abs(p.Cost())*0.05)
+		sigma = math.Max(1, math.Abs(c.p.Cost())*0.05)
 	}
-	temp := sigma / -math.Log(cfg.InitAccept)
-	best := p.Cost()
-	res := Result{TotalMoves: cfg.MovesPerTemp, Accepted: cfg.MovesPerTemp}
-	if onTemp != nil {
-		onTemp(TempStats{Step: 0, Temp: temp, Moves: cfg.MovesPerTemp, Accepted: cfg.MovesPerTemp,
-			Cost: p.Cost(), BestCost: best, StdCost: sigma})
+	c.temp = sigma / -math.Log(c.cfg.InitAccept)
+	c.best = c.p.Cost()
+	c.res = Result{TotalMoves: c.cfg.MovesPerTemp, Accepted: c.cfg.MovesPerTemp}
+	if c.onTemp != nil {
+		c.onTemp(TempStats{Step: 0, Temp: c.temp, Moves: c.cfg.MovesPerTemp, Accepted: c.cfg.MovesPerTemp,
+			Cost: c.p.Cost(), BestCost: c.best, StdCost: sigma})
 	}
+	c.started = true
+}
 
-	frozen := 0
-	for step := 1; step <= cfg.MaxTemps; step++ {
-		var st stats
-		accepted := 0
-		bestBefore := best
-		for i := 0; i < cfg.MovesPerTemp; i++ {
-			d := p.Propose(rng)
-			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
-				p.Accept()
-				accepted++
-			} else {
-				p.Reject()
-			}
-			c := p.Cost()
-			st.add(c)
-			if c < best {
-				best = c
-			}
-		}
-		res.TotalMoves += cfg.MovesPerTemp
-		res.Accepted += accepted
-		res.Temps = step
-		ratio := float64(accepted) / float64(cfg.MovesPerTemp)
-		improved := best < bestBefore
-		if onTemp != nil {
-			onTemp(TempStats{Step: step, Temp: temp, Moves: cfg.MovesPerTemp, Accepted: accepted,
-				Cost: p.Cost(), BestCost: best, StdCost: st.std()})
-		}
-		// A temperature is stagnant when it neither improved the best nor
-		// shows real cost movement: acceptance collapsed, or all accepted
-		// moves were zero-delta plateau wandering.
-		if !improved && (ratio < cfg.AcceptFloor || st.std() == 0) {
-			frozen++
-			if frozen >= cfg.FrozenTemps {
-				break
-			}
-		} else {
-			frozen = 0
-		}
-		// Huang et al. adaptive decrement, bounded to avoid quenching.
-		dec := math.Exp(-cfg.Lambda * temp / math.Max(st.std(), 1e-9))
-		if dec < cfg.MinDecrement {
-			dec = cfg.MinDecrement
-		}
-		if dec > 0.995 {
-			dec = 0.995
-		}
-		temp *= dec
+// adopt replaces the chain's problem state (elite migration at a
+// synchronization barrier): the chain keeps its own rng stream, temperature
+// and step budget, resets its stagnation counter, and resumes if it had
+// frozen with budget remaining.
+func (c *Chain) adopt(p Problem) {
+	c.p = p
+	if cost := p.Cost(); cost < c.best {
+		c.best = cost
 	}
-	res.FinalCost = p.Cost()
-	res.BestCost = best
-	return res
+	c.frozen = 0
+	c.done = c.step >= c.cfg.MaxTemps
 }
 
 // stats accumulates mean/std/min online.

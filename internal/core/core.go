@@ -68,6 +68,22 @@ type Config struct {
 	// paper's §5): the swap partner is drawn from a window around the moved
 	// cell whose radius adapts to keep acceptance near 0.44.
 	RangeLimit bool
+
+	// Chains selects parallel portfolio annealing: K independent chains run
+	// concurrently and exchange state at synchronization barriers (losers
+	// restart from a clone of the champion). 0 or 1 keeps the serial engine
+	// with bit-identical behavior for a fixed seed. Results for a fixed
+	// (Seed, Chains, SyncTemps) are deterministic regardless of Workers or
+	// GOMAXPROCS.
+	Chains int
+
+	// Workers caps how many chains are stepped concurrently (default
+	// runtime.GOMAXPROCS(0)). Scheduling only; never affects results.
+	Workers int
+
+	// SyncTemps is the number of temperatures between chain synchronization
+	// barriers (default 8).
+	SyncTemps int
 }
 
 func (c *Config) setDefaults() {
@@ -132,6 +148,12 @@ type Result struct {
 	RepairFixed  int
 	FinalCost    float64
 	CriticalPath []int32
+
+	// Parallel-run report; zero values on the serial path.
+	Chains     int       // number of annealing chains (0 or 1 = serial)
+	Champion   int       // winning chain index
+	Restarts   int       // loser restarts performed at sync barriers
+	ChainCosts []float64 // final annealing cost per chain
 }
 
 // Optimizer is the simultaneous place-and-route engine. It implements
@@ -333,17 +355,28 @@ func (o *Optimizer) D() int { return o.d }
 // WCD returns the current worst-case delay in picoseconds.
 func (o *Optimizer) WCD() float64 { return o.An.WCD() }
 
+// annealConfig is the engine configuration shared by the serial and parallel
+// paths.
+func (o *Optimizer) annealConfig() anneal.Config {
+	return anneal.Config{
+		Seed:         o.cfg.Seed + 1,
+		MovesPerTemp: o.cfg.MovesPerCell * o.NL.NumCells(),
+		MaxTemps:     o.cfg.MaxTemps,
+	}
+}
+
 // Run anneals to completion, applies the zero-temperature routability repair,
 // and reports the result.
 func (o *Optimizer) Run() Result {
 	o.dynamics = o.dynamics[:0]
 	o.cellEpochBase = o.epoch
-	ares := anneal.Run(o, anneal.Config{
-		Seed:         o.cfg.Seed + 1,
-		MovesPerTemp: o.cfg.MovesPerCell * o.NL.NumCells(),
-		MaxTemps:     o.cfg.MaxTemps,
-	}, o.onTemp)
+	ares := anneal.Run(o, o.annealConfig(), o.onTemp)
+	return o.finish(ares)
+}
 
+// finish is the shared post-annealing tail: zero-temperature routability
+// repair, the wirability-only timing refresh, and result assembly.
+func (o *Optimizer) finish(ares anneal.Result) Result {
 	rng := rand.New(rand.NewSource(o.cfg.Seed + 2))
 	repairMoves, repairFixed := o.repair(rng)
 
@@ -366,6 +399,39 @@ func (o *Optimizer) Run() Result {
 		CriticalPath: o.An.CriticalPath(),
 	}
 	return res
+}
+
+// RunParallel anneals with cfg.Chains parallel portfolio chains and returns
+// the optimizer holding the winning state along with its result. With
+// Chains <= 1 it is exactly Run on the receiver (same moves, same rng
+// stream, bit-identical result); with K > 1 the returned optimizer is the
+// champion chain's state, which may be a clone of the receiver.
+func (o *Optimizer) RunParallel() (*Optimizer, Result) {
+	if o.cfg.Chains <= 1 {
+		return o, o.Run()
+	}
+	o.dynamics = o.dynamics[:0]
+	o.cellEpochBase = o.epoch
+	pres := anneal.RunParallel(o, anneal.ParallelConfig{
+		Config:    o.annealConfig(),
+		Chains:    o.cfg.Chains,
+		Workers:   o.cfg.Workers,
+		SyncTemps: o.cfg.SyncTemps,
+	}, func(_ int, p anneal.Problem, s anneal.TempStats) {
+		// Each chain maintains its own weights, window and dynamics trace;
+		// the callback only ever touches that chain's optimizer.
+		p.(*Optimizer).onTemp(s)
+	})
+	champ := pres.Best.(*Optimizer)
+	res := champ.finish(pres.Result)
+	res.Chains = o.cfg.Chains
+	res.Champion = pres.Champion
+	res.Restarts = pres.Restarts
+	res.ChainCosts = make([]float64, len(pres.PerChain))
+	for i := range pres.PerChain {
+		res.ChainCosts[i] = pres.PerChain[i].FinalCost
+	}
+	return champ, res
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netgen"
+)
+
+// golden is the exact serial-engine outcome for a fixed design and seed,
+// captured before the parallel annealing engine landed. The serial (1-chain)
+// path is contractually bit-identical to the historical engine: any change to
+// these numbers means the rng stream, the move sequence, or an ordering
+// somewhere in the pipeline changed.
+type golden struct {
+	cfg        Config
+	wcd        float64
+	finalCost  float64
+	temps      int
+	totalMoves int
+	accepted   int
+	annealBest float64
+	dyn        int
+}
+
+var goldenRuns = []golden{
+	{
+		cfg:        Config{Seed: 9, MovesPerCell: 3, MaxTemps: 25},
+		wcd:        39617.731000000007,
+		finalCost:  1,
+		temps:      25,
+		totalMoves: 3042,
+		accepted:   1353,
+		annealBest: 0.87185025591758358,
+		dyn:        26,
+	},
+	{
+		cfg:        Config{Seed: 4, MovesPerCell: 6, MaxTemps: 60, RangeLimit: true},
+		wcd:        35398.376000000004,
+		finalCost:  1,
+		temps:      37,
+		totalMoves: 8892,
+		accepted:   3540,
+		annealBest: 0.88186076555232296,
+		dyn:        38,
+	},
+}
+
+// TestSerialGoldenValues pins the serial engine bit-for-bit against the
+// pre-parallel-engine capture. Float comparisons are exact on purpose.
+func TestSerialGoldenValues(t *testing.T) {
+	nl, err := netgen.Generate(netgen.Params{Name: "t", Inputs: 4, Outputs: 3, Seq: 2, Comb: 30, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.MustNew(arch.Default(5, 12, 14))
+	for i, g := range goldenRuns {
+		o, err := New(a, nl, g.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := o.Run()
+		if r.G != 0 || r.D != 0 {
+			t.Errorf("run %d: G=%d D=%d, want fully routed", i, r.G, r.D)
+		}
+		if r.WCD != g.wcd {
+			t.Errorf("run %d: WCD = %.17g, golden %.17g", i, r.WCD, g.wcd)
+		}
+		if r.FinalCost != g.finalCost {
+			t.Errorf("run %d: FinalCost = %.17g, golden %.17g", i, r.FinalCost, g.finalCost)
+		}
+		if r.Anneal.Temps != g.temps || r.Anneal.TotalMoves != g.totalMoves || r.Anneal.Accepted != g.accepted {
+			t.Errorf("run %d: anneal (temps=%d moves=%d accepted=%d), golden (%d, %d, %d)",
+				i, r.Anneal.Temps, r.Anneal.TotalMoves, r.Anneal.Accepted, g.temps, g.totalMoves, g.accepted)
+		}
+		if r.Anneal.BestCost != g.annealBest {
+			t.Errorf("run %d: anneal best = %.17g, golden %.17g", i, r.Anneal.BestCost, g.annealBest)
+		}
+		if len(r.Dynamics) != g.dyn {
+			t.Errorf("run %d: %d dynamics samples, golden %d", i, len(r.Dynamics), g.dyn)
+		}
+		if r.Chains != 0 || r.Restarts != 0 || r.ChainCosts != nil {
+			t.Errorf("run %d: serial path reported parallel fields: %+v", i, r)
+		}
+	}
+}
+
+// TestRunParallelSingleChainIsSerial: Chains=1 must take the serial path
+// exactly — same optimizer returned, same golden numbers.
+func TestRunParallelSingleChainIsSerial(t *testing.T) {
+	nl, err := netgen.Generate(netgen.Params{Name: "t", Inputs: 4, Outputs: 3, Seq: 2, Comb: 30, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.MustNew(arch.Default(5, 12, 14))
+	g := goldenRuns[0]
+	cfg := g.cfg
+	cfg.Chains = 1
+	o, err := New(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	champ, r := o.RunParallel()
+	if champ != o {
+		t.Error("1-chain RunParallel must anneal the receiver in place")
+	}
+	if r.WCD != g.wcd || r.Anneal.BestCost != g.annealBest || r.Anneal.Accepted != g.accepted {
+		t.Errorf("1-chain result diverged from golden: WCD=%.17g best=%.17g accepted=%d",
+			r.WCD, r.Anneal.BestCost, r.Anneal.Accepted)
+	}
+}
+
+// TestParallelDeterministicAcrossGOMAXPROCS: a K=4 run must reproduce the
+// identical final result for a fixed seed across two runs with different
+// GOMAXPROCS and worker counts — scheduling must never leak into results.
+func TestParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	nl, err := netgen.Generate(netgen.Params{Name: "t", Inputs: 4, Outputs: 3, Seq: 2, Comb: 30, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.MustNew(arch.Default(5, 12, 14))
+	run := func(maxprocs, workers int) Result {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(maxprocs))
+		o, err := New(a, nl, Config{
+			Seed: 9, MovesPerCell: 3, MaxTemps: 25,
+			Chains: 4, Workers: workers, SyncTemps: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		champ, r := o.RunParallel()
+		if err := champ.Check(); err != nil {
+			t.Fatalf("champion state inconsistent: %v", err)
+		}
+		return r
+	}
+	r1 := run(1, 1)
+	r2 := run(4, 4)
+	if r1.WCD != r2.WCD || r1.FinalCost != r2.FinalCost || r1.G != r2.G || r1.D != r2.D {
+		t.Errorf("GOMAXPROCS changed the outcome: (WCD=%.17g cost=%.17g G=%d D=%d) vs (WCD=%.17g cost=%.17g G=%d D=%d)",
+			r1.WCD, r1.FinalCost, r1.G, r1.D, r2.WCD, r2.FinalCost, r2.G, r2.D)
+	}
+	if r1.Champion != r2.Champion || r1.Restarts != r2.Restarts {
+		t.Errorf("champion/restarts diverged: (%d,%d) vs (%d,%d)",
+			r1.Champion, r1.Restarts, r2.Champion, r2.Restarts)
+	}
+	if len(r1.ChainCosts) != 4 || len(r2.ChainCosts) != 4 {
+		t.Fatalf("chain costs missing: %v vs %v", r1.ChainCosts, r2.ChainCosts)
+	}
+	for i := range r1.ChainCosts {
+		if r1.ChainCosts[i] != r2.ChainCosts[i] {
+			t.Errorf("chain %d cost diverged: %.17g vs %.17g", i, r1.ChainCosts[i], r2.ChainCosts[i])
+		}
+	}
+	if r1.Chains != 4 {
+		t.Errorf("Chains = %d, want 4", r1.Chains)
+	}
+}
+
+// TestParallelRunRoutesAndChecks: the champion state of a parallel run is a
+// real, fully consistent layout.
+func TestParallelRunRoutesAndChecks(t *testing.T) {
+	nl, err := netgen.Generate(netgen.Params{Name: "t", Inputs: 4, Outputs: 3, Seq: 2, Comb: 30, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.MustNew(arch.Default(5, 12, 14))
+	o, err := New(a, nl, Config{Seed: 4, MovesPerCell: 6, MaxTemps: 60, Chains: 3, SyncTemps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	champ, r := o.RunParallel()
+	if !r.FullyRouted {
+		t.Fatalf("parallel run not fully routed: G=%d D=%d", r.G, r.D)
+	}
+	if err := champ.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r.WCD <= 0 {
+		t.Error("WCD not positive")
+	}
+	if r.Champion < 0 || r.Champion >= 3 {
+		t.Errorf("champion index %d out of range", r.Champion)
+	}
+}

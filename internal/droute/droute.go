@@ -120,7 +120,10 @@ func RouteAllDetailed(f *fabric.Fabric, routes []fabric.NetRoute, cost Cost, att
 			if items[i].len != items[j].len {
 				return items[i].len > items[j].len
 			}
-			return items[i].net < items[j].net
+			if items[i].net != items[j].net {
+				return items[i].net < items[j].net
+			}
+			return items[i].ci < items[j].ci
 		})
 		bestFailed := routeChannelOrder(f, routes, items, cost)
 		if bestFailed > 0 && attempts > 1 {

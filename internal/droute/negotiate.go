@@ -68,6 +68,9 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 	}
 	// Longest intervals first: they have the fewest alternatives, so they
 	// should claim resources first both during negotiation and at commit.
+	// The (net, ci) tiebreak makes the ordering a total one — a net with two
+	// equal-length intervals in different channels would otherwise land in
+	// sort-instability-dependent order.
 	sort.Slice(items, func(i, j int) bool {
 		a1 := &routes[items[i].net].Chans[items[i].ci]
 		a2 := &routes[items[j].net].Chans[items[j].ci]
@@ -75,7 +78,10 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 		if l1 != l2 {
 			return l1 > l2
 		}
-		return items[i].net < items[j].net
+		if items[i].net != items[j].net {
+			return items[i].net < items[j].net
+		}
+		return items[i].ci < items[j].ci
 	})
 
 	// Shared occupancy and history, mirroring the fabric's H segments but

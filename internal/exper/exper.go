@@ -31,6 +31,11 @@ type Effort struct {
 	CoreMovesPerCell  int
 	CoreMaxTemps      int
 	RouteAttempts     int
+
+	// Chains/Workers select parallel portfolio annealing for the
+	// simultaneous flow (0 or 1 chain = the serial engine).
+	Chains  int
+	Workers int
 }
 
 // FastEffort is sized for tests and smoke runs.
@@ -110,7 +115,8 @@ func runSeq(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64) (*seq.Resul
 	return res, time.Since(start), err
 }
 
-// runSim executes the simultaneous flow.
+// runSim executes the simultaneous flow (parallel portfolio annealing when
+// the effort requests more than one chain).
 func runSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityOnly bool) (*core.Optimizer, core.Result, time.Duration, error) {
 	start := time.Now()
 	o, err := core.New(a, nl, core.Config{
@@ -118,11 +124,13 @@ func runSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityO
 		MovesPerCell:  e.CoreMovesPerCell,
 		MaxTemps:      e.CoreMaxTemps,
 		DisableTiming: wirabilityOnly,
+		Chains:        e.Chains,
+		Workers:       e.Workers,
 	})
 	if err != nil {
 		return nil, core.Result{}, 0, err
 	}
-	res := o.Run()
+	o, res := o.RunParallel()
 	return o, res, time.Since(start), nil
 }
 

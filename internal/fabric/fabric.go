@@ -55,6 +55,27 @@ func New(a *arch.Arch) *Fabric {
 	return f
 }
 
+// Clone returns a deep copy of the ownership tables, sharing only the
+// immutable architecture.
+func (f *Fabric) Clone() *Fabric {
+	c := &Fabric{A: f.A, usedH: f.usedH, usedV: f.usedV}
+	c.h = make([][][]int32, len(f.h))
+	for ch := range f.h {
+		c.h[ch] = make([][]int32, len(f.h[ch]))
+		for t := range f.h[ch] {
+			c.h[ch][t] = append([]int32(nil), f.h[ch][t]...)
+		}
+	}
+	c.v = make([][][]int32, len(f.v))
+	for col := range f.v {
+		c.v[col] = make([][]int32, len(f.v[col]))
+		for t := range f.v[col] {
+			c.v[col][t] = append([]int32(nil), f.v[col][t]...)
+		}
+	}
+	return c
+}
+
 // Reset frees every segment.
 func (f *Fabric) Reset() {
 	for _, ch := range f.h {

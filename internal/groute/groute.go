@@ -139,6 +139,12 @@ func RouteAll(f *fabric.Fabric, p *layout.Placement, routes []fabric.NetRoute) [
 		order[i] = int32(i)
 		length[i] = p.EstLength(int32(i))
 	}
+	// Determinism audit note: the relative order of equal-length nets is
+	// whatever sort.Slice yields, which is deterministic for a fixed input
+	// (pdqsort is not randomized) but unspecified. An explicit id tiebreak
+	// here would reorder equal-length nets and change every downstream
+	// fixed-seed result, so the historical order is kept deliberately; the
+	// fixed-seed golden test in internal/core pins it.
 	sort.Slice(order, func(i, j int) bool { return length[order[i]] > length[order[j]] })
 	var failed []int32
 	for _, id := range order {

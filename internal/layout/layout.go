@@ -62,19 +62,41 @@ func NewRandom(a *arch.Arch, nl *netlist.Netlist, rng *rand.Rand) (*Placement, e
 }
 
 // Clone returns a deep copy sharing only the immutable arch and netlist.
+// The pinmap palette is prefilled for every input count in the netlist before
+// being shared, so clones used from different goroutines only ever read it.
 func (p *Placement) Clone() *Placement {
+	p.prefillPinmaps()
 	q := &Placement{
 		A:           p.A,
 		NL:          p.NL,
 		Loc:         append([]Loc(nil), p.Loc...),
 		Pm:          append([]uint8(nil), p.Pm...),
-		pinmapCache: p.pinmapCache, // palette is immutable once built
+		pinmapCache: p.pinmapCache, // complete and read-only after prefill
 	}
 	q.Slot = make([][]int32, len(p.Slot))
 	for r := range p.Slot {
 		q.Slot[r] = append([]int32(nil), p.Slot[r]...)
 	}
 	return q
+}
+
+// prefillPinmaps builds the lazily-populated pinmap palette for every input
+// count present in the netlist, after which the cache is never written again.
+func (p *Placement) prefillPinmaps() {
+	if p.pinmapCache == nil {
+		p.pinmapCache = make(map[int][]arch.Pinmap)
+	}
+	for id := range p.NL.Cells {
+		k := len(p.NL.Cells[id].In)
+		if _, ok := p.pinmapCache[k]; ok {
+			continue
+		}
+		pal := make([]arch.Pinmap, arch.NumPinmaps)
+		for v := range pal {
+			pal[v] = arch.PinmapFor(k, v)
+		}
+		p.pinmapCache[k] = pal
+	}
 }
 
 // CellAt returns the cell occupying slot (row, col), or -1.

@@ -101,6 +101,33 @@ func NewAnalyzer(nl *netlist.Netlist) (*Analyzer, error) {
 	return t, nil
 }
 
+// Clone returns a deep copy of the analyzer's committed state, sharing only
+// the immutable netlist and levelization tables. The clone starts with fresh
+// journal scratch; cloning inside an open move is a programming error.
+func (t *Analyzer) Clone() *Analyzer {
+	if t.inMove {
+		panic("timing: Clone inside an open move")
+	}
+	c := &Analyzer{
+		nl:       t.nl,
+		level:    t.level,
+		order:    t.order,
+		arr:      append([]float64(nil), t.arr...),
+		netDelay: make([][]float64, len(t.netDelay)),
+		sinkIdx:  t.sinkIdx,
+		sinkPins: t.sinkPins,
+		wcd:      t.wcd,
+
+		stamp:      make([]uint32, len(t.stamp)),
+		netStamp:   make([]uint32, len(t.netStamp)),
+		inFrontier: make([]uint32, len(t.inFrontier)),
+	}
+	for i := range t.netDelay {
+		c.netDelay[i] = append([]float64(nil), t.netDelay[i]...)
+	}
+	return c
+}
+
 // computeArr evaluates a cell's output arrival from current state.
 func (t *Analyzer) computeArr(cell int32) float64 {
 	c := &t.nl.Cells[cell]

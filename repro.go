@@ -172,12 +172,15 @@ type Layout struct {
 }
 
 // Simultaneous runs the paper's simultaneous place-and-route optimization.
+// With cfg.Chains > 1 the annealing runs as a parallel portfolio of chains
+// (see core.Config) and the returned layout is the champion chain's state;
+// the default is the serial engine.
 func Simultaneous(a *Arch, nl *Netlist, cfg SimConfig) (*Layout, error) {
 	o, err := core.New(a, nl, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := o.Run()
+	o, res := o.RunParallel()
 	return &Layout{
 		Arch:        a,
 		Netlist:     nl,
