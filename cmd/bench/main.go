@@ -1,0 +1,147 @@
+// Command bench runs the benchmark suite at a fixed seed and writes a
+// schema-versioned JSON report (BENCH_<date>.json by default). Quality fields
+// (final cost, unrouted counts, critical path) are bit-identical across runs
+// for a fixed configuration; wall-clock fields vary by machine.
+//
+// Usage:
+//
+//	bench -effort fast -seed 1                    # write BENCH_<date>.json
+//	bench -out BENCH_baseline.json                # (re)generate the CI baseline
+//	bench -compare BENCH_baseline.json            # CI gate: exit 1 on regression
+//	bench -trace run.jsonl                        # also dump the event stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/exper"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		effortFlag = flag.String("effort", "fast", "effort level: fast or paper")
+		seed       = flag.Int64("seed", 1, "random seed (quality metrics are deterministic per seed)")
+		designs    = flag.String("designs", strings.Join(exper.BenchDesigns(), ","), "comma-separated design names")
+		tracks     = flag.Int("tracks", exper.DefaultTracks, "tracks per channel")
+		chains     = flag.Int("chains", 1, "parallel annealing chains (1 = serial engine)")
+		workers    = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS)")
+		out        = flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json; - for stdout)")
+		tracePath  = flag.String("trace", "", "also write the collector event stream to this JSONL file")
+		compare    = flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
+		wallTol    = flag.Float64("wall-tol", 0.25, "allowed relative wall-time regression for -compare")
+	)
+	flag.Parse()
+
+	if err := run(*effortFlag, *seed, *designs, *tracks, *chains, *workers, *out, *tracePath, *compare, *wallTol); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(effortName string, seed int64, designCSV string, tracks, chains, workers int, out, tracePath, compare string, wallTol float64) error {
+	var e exper.Effort
+	switch effortName {
+	case "fast":
+		e = exper.FastEffort()
+	case "paper":
+		e = exper.PaperEffort()
+	default:
+		return fmt.Errorf("unknown -effort %q (want fast or paper)", effortName)
+	}
+	e.Chains = chains
+	e.Workers = workers
+
+	var trace *metrics.Trace
+	if tracePath != "" {
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		trace = metrics.NewTrace(tf)
+		e.Metrics = trace
+	}
+
+	rep := &exper.BenchReport{
+		Schema:    exper.BenchSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Effort:    e.Name,
+		Seed:      seed,
+		Tracks:    tracks,
+		Chains:    chains,
+	}
+	for _, name := range strings.Split(designCSV, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s (effort %s, seed %d)...\n", name, e.Name, seed)
+		row, err := exper.RunBenchmark(name, e, seed, tracks)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s done in %.0f ms (cost %.1f, unrouted %d, critical path %.0f ps)\n",
+			row.Design, row.WallMS, row.FinalCost, row.Unrouted, row.WCDPs)
+		rep.Rows = append(rep.Rows, row)
+	}
+	if trace != nil {
+		if err := trace.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+
+	if out == "" {
+		out = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if out == "-" {
+		if err := exper.WriteBenchReport(os.Stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := exper.WriteBenchReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+	}
+
+	if compare != "" {
+		bf, err := os.Open(compare)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		base, err := exper.ReadBenchReport(bf)
+		if err != nil {
+			return err
+		}
+		opt := exper.DefaultCompareOptions()
+		opt.WallTol = wallTol
+		regs, err := exper.CompareBenchReports(base, rep, opt)
+		if err != nil {
+			return err
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", r)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(regs), compare)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no regressions vs %s\n", compare)
+	}
+	return nil
+}

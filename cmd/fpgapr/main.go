@@ -5,6 +5,7 @@
 //
 //	fpgapr -design s1 -flow sim
 //	fpgapr -netlist mydesign.net -flow seq -tracks 24 -seed 7
+//	fpgapr -design cse -stats -pprof prof    # metrics report + prof.cpu/heap.pprof
 //
 // The netlist comes from -netlist (a .net or .blif file) or -design (a named
 // synthetic benchmark). The tool prints a layout summary and, when the
@@ -15,45 +16,68 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
+	"repro/internal/metrics"
 )
 
+// options carries every CLI knob; tests drive run directly with a literal.
+type options struct {
+	netlistPath string
+	design      string
+	flow        string // sim or seq
+	tracks      int
+	seed        int64
+	effort      int // annealing moves per cell per temperature
+	maxTemps    int
+	wirability  bool
+	render      bool
+	maxFanin    int
+	chains      int
+	workers     int
+
+	stats  bool   // print the metrics summary after the run
+	pprofP string // profile path prefix; writes <p>.cpu.pprof and <p>.heap.pprof
+}
+
 func main() {
-	var (
-		netlistPath = flag.String("netlist", "", "netlist file (.net or .blif)")
-		design      = flag.String("design", "", "named synthetic benchmark (s1, cse, ex1, bw, s1a, big529, tiny)")
-		flow        = flag.String("flow", "sim", "layout flow: sim (simultaneous) or seq (sequential)")
-		tracks      = flag.Int("tracks", 28, "tracks per channel")
-		seed        = flag.Int64("seed", 1, "random seed")
-		effortFlag  = flag.Int("effort", 8, "annealing moves per cell per temperature")
-		maxTemps    = flag.Int("maxtemps", 120, "annealing temperature cap")
-		wirability  = flag.Bool("wirability-only", false, "simultaneous flow: optimize routability only (no timing term)")
-		renderOut   = flag.Bool("render", false, "print an ASCII rendering of the finished layout")
-		maxFanin    = flag.Int("maxfanin", 0, "technology-map the netlist to this module fanin first (0 = netlist must already be legal)")
-		chains      = flag.Int("chains", 1, "simultaneous flow: parallel annealing chains (1 = serial engine)")
-		workers     = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only, never results)")
-	)
+	var o options
+	flag.StringVar(&o.netlistPath, "netlist", "", "netlist file (.net or .blif)")
+	flag.StringVar(&o.design, "design", "", "named synthetic benchmark (s1, cse, ex1, bw, s1a, big529, tiny)")
+	flag.StringVar(&o.flow, "flow", "sim", "layout flow: sim (simultaneous) or seq (sequential)")
+	flag.IntVar(&o.tracks, "tracks", 28, "tracks per channel")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.effort, "effort", 8, "annealing moves per cell per temperature")
+	flag.IntVar(&o.maxTemps, "maxtemps", 120, "annealing temperature cap")
+	flag.BoolVar(&o.wirability, "wirability-only", false, "simultaneous flow: optimize routability only (no timing term)")
+	flag.BoolVar(&o.render, "render", false, "print an ASCII rendering of the finished layout")
+	flag.IntVar(&o.maxFanin, "maxfanin", 0, "technology-map the netlist to this module fanin first (0 = netlist must already be legal)")
+	flag.IntVar(&o.chains, "chains", 1, "simultaneous flow: parallel annealing chains (1 = serial engine)")
+	flag.IntVar(&o.workers, "workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only, never results)")
+	flag.BoolVar(&o.stats, "stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
+	flag.StringVar(&o.pprofP, "pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	flag.Parse()
 
-	if err := run(*netlistPath, *design, *flow, *tracks, *seed, *effortFlag, *maxTemps, *wirability, *renderOut, *maxFanin, *chains, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgapr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTemps int, wirability, renderOut bool, maxFanin, chains, workers int) error {
+func run(o options) error {
 	var (
 		nl  *repro.Netlist
 		err error
 	)
 	switch {
-	case netlistPath != "" && design != "":
+	case o.netlistPath != "" && o.design != "":
 		return fmt.Errorf("give either -netlist or -design, not both")
-	case netlistPath != "":
-		nl, err = repro.LoadNetlist(netlistPath)
-	case design != "":
-		nl, err = repro.GenerateBenchmark(design)
+	case o.netlistPath != "":
+		nl, err = repro.LoadNetlist(o.netlistPath)
+	case o.design != "":
+		nl, err = repro.GenerateBenchmark(o.design)
 	default:
 		return fmt.Errorf("need -netlist FILE or -design NAME (available: %v)", repro.Benchmarks())
 	}
@@ -63,39 +87,68 @@ func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTe
 	if err := nl.Validate(); err != nil {
 		return err
 	}
-	if maxFanin > 0 {
-		mapped, st, err := repro.TechMap(nl, maxFanin)
+	if o.maxFanin > 0 {
+		mapped, st, err := repro.TechMap(nl, o.maxFanin)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("technology mapping to %d-input modules: %d -> %d cells (depth %d -> %d)\n",
-			maxFanin, st.CellsIn, st.CellsOut, st.DepthIn, st.DepthOut)
+			o.maxFanin, st.CellsIn, st.CellsOut, st.DepthIn, st.DepthOut)
 		nl = mapped
 	}
 
-	a, err := repro.ArchFor(nl, tracks)
+	a, err := repro.ArchFor(nl, o.tracks)
 	if err != nil {
 		return err
 	}
 
+	var sum *metrics.Summary
+	if o.stats {
+		sum = metrics.NewSummary()
+	}
+	if o.pprofP != "" {
+		cf, err := os.Create(o.pprofP + ".cpu.pprof")
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			hf, err := os.Create(o.pprofP + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpgapr:", err)
+				return
+			}
+			defer hf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(hf); err != nil {
+				fmt.Fprintln(os.Stderr, "fpgapr:", err)
+			}
+		}()
+	}
+
 	var lay *repro.Layout
-	switch flow {
+	switch o.flow {
 	case "sim":
 		lay, err = repro.Simultaneous(a, nl, repro.SimConfig{
-			Seed:          seed,
-			MovesPerCell:  effort,
-			MaxTemps:      maxTemps,
-			DisableTiming: wirability,
-			Chains:        chains,
-			Workers:       workers,
+			Seed:          o.seed,
+			MovesPerCell:  o.effort,
+			MaxTemps:      o.maxTemps,
+			DisableTiming: o.wirability,
+			Chains:        o.chains,
+			Workers:       o.workers,
+			Metrics:       collectorOrNil(sum),
 		})
 	case "seq":
-		cfg := repro.SeqConfig{Seed: seed}
-		cfg.Place.MovesPerCell = effort
-		cfg.Place.MaxTemps = maxTemps
+		cfg := repro.SeqConfig{Seed: o.seed, Metrics: collectorOrNil(sum)}
+		cfg.Place.MovesPerCell = o.effort
+		cfg.Place.MaxTemps = o.maxTemps
 		lay, err = repro.Sequential(a, nl, cfg)
 	default:
-		return fmt.Errorf("unknown -flow %q (want sim or seq)", flow)
+		return fmt.Errorf("unknown -flow %q (want sim or seq)", o.flow)
 	}
 	if err != nil {
 		return err
@@ -105,8 +158,8 @@ func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTe
 		return err
 	}
 	if lay.Sim != nil && lay.Sim.Chains > 1 {
-		fmt.Printf("parallel anneal: %d chains, champion %d, %d elite-migration restarts\n",
-			lay.Sim.Chains, lay.Sim.Champion, lay.Sim.Restarts)
+		fmt.Printf("parallel anneal: %d chains, champion %d, %d elite-migration restarts, %d champion switches\n",
+			lay.Sim.Chains, lay.Sim.Champion, lay.Sim.Restarts, lay.Sim.ChampionSwitches)
 	}
 	if lay.FullyRouted {
 		wcd, agreement, err := lay.VerifyTiming()
@@ -116,8 +169,23 @@ func run(netlistPath, design, flow string, tracks int, seed int64, effort, maxTe
 		fmt.Printf("independent timing check: %.2f ns (in-loop/independent agreement %.3f)\n",
 			wcd/1000, agreement)
 	}
-	if renderOut {
+	if o.render {
 		fmt.Print(repro.RenderASCII(lay))
 	}
+	if sum != nil {
+		fmt.Println()
+		if err := sum.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// collectorOrNil keeps the optimizer's collector nil (fully disabled) when
+// stats are off; a typed-nil *Summary inside the interface would not.
+func collectorOrNil(sum *metrics.Summary) metrics.Collector {
+	if sum == nil {
+		return nil
+	}
+	return sum
 }

@@ -7,27 +7,59 @@ import (
 	"testing"
 )
 
+// tinyOpts is the shared baseline: the tiny design, low effort, serial engine.
+func tinyOpts() options {
+	return options{design: "tiny", flow: "sim", tracks: 20, seed: 1,
+		effort: 5, maxTemps: 40, chains: 1}
+}
+
 func TestRunSimOnTiny(t *testing.T) {
-	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 1, 0); err != nil {
+	if err := run(tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSimParallelChains(t *testing.T) {
-	if err := run("", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 2, 1); err != nil {
+	o := tinyOpts()
+	o.chains, o.workers = 2, 1
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSeqOnTiny(t *testing.T) {
-	if err := run("", "tiny", "seq", 20, 1, 5, 40, false, false, 0, 1, 0); err != nil {
+	o := tinyOpts()
+	o.flow = "seq"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWirabilityOnlyAndRender(t *testing.T) {
-	if err := run("", "tiny", "sim", 20, 1, 5, 40, true, true, 0, 1, 0); err != nil {
+	o := tinyOpts()
+	o.wirability, o.render = true, true
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithStatsAndProfiles(t *testing.T) {
+	o := tinyOpts()
+	o.stats = true
+	o.pprofP = filepath.Join(t.TempDir(), "prof")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// The CPU profile is finalized by run's deferred StopCPUProfile; the heap
+	// profile by its deferred writer. Both files must exist and be non-empty.
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		st, err := os.Stat(o.pprofP + suffix)
+		if err != nil {
+			t.Fatalf("profile %s: %v", suffix, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", suffix)
+		}
 	}
 }
 
@@ -38,24 +70,32 @@ func TestRunFromNetlistFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 0, 1, 0); err != nil {
+	o := tinyOpts()
+	o.design, o.netlistPath = "", path
+	o.tracks, o.maxTemps = 12, 30
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
+	mod := func(f func(*options)) options {
+		o := tinyOpts()
+		f(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		f    func() error
+		o    options
 		want string
 	}{
-		{"both sources", func() error { return run("x.net", "tiny", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "not both"},
-		{"no source", func() error { return run("", "", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "need -netlist"},
-		{"bad flow", func() error { return run("", "tiny", "diagonal", 20, 1, 5, 40, false, false, 0, 1, 0) }, "unknown -flow"},
-		{"bad design", func() error { return run("", "nonesuch", "sim", 20, 1, 5, 40, false, false, 0, 1, 0) }, "unknown design"},
+		{"both sources", mod(func(o *options) { o.netlistPath = "x.net" }), "not both"},
+		{"no source", mod(func(o *options) { o.design = "" }), "need -netlist"},
+		{"bad flow", mod(func(o *options) { o.flow = "diagonal" }), "unknown -flow"},
+		{"bad design", mod(func(o *options) { o.design = "nonesuch" }), "unknown design"},
 	}
 	for _, tc := range cases {
-		err := tc.f()
+		err := run(tc.o)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want contains %q", tc.name, err, tc.want)
 		}
@@ -70,7 +110,10 @@ func TestRunWithTechMapping(t *testing.T) {
 	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "sim", 12, 1, 5, 30, false, false, 4, 1, 0); err != nil {
+	o := tinyOpts()
+	o.design, o.netlistPath = "", path
+	o.tracks, o.maxTemps, o.maxFanin = 12, 30, 4
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,33 +17,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/exper"
+	"repro/internal/metrics"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		table1   = flag.Bool("table1", false, "Table 1: timing improvement")
-		table2   = flag.Bool("table2", false, "Table 2: wirability improvement")
-		figure6  = flag.Bool("figure6", false, "Figure 6: annealing dynamics")
-		figure7  = flag.Bool("figure7", false, "Figure 7: 529-cell design")
-		runtime  = flag.Bool("runtime", false, "runtime-ratio observation")
-		segsweep = flag.Bool("segsweep", false, "segmentation-tradeoff study (extension)")
-		fast     = flag.Bool("fast", false, "reduced effort (quick smoke run)")
-		csvPath  = flag.String("csv", "", "write Figure 6 series to this CSV file (default stdout)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		design   = flag.String("design", "s1", "design for -figure6 and -runtime")
-		chains   = flag.Int("chains", 1, "parallel annealing chains for the simultaneous flow (1 = serial)")
-		workers  = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only)")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		table1      = flag.Bool("table1", false, "Table 1: timing improvement")
+		table2      = flag.Bool("table2", false, "Table 2: wirability improvement")
+		figure6     = flag.Bool("figure6", false, "Figure 6: annealing dynamics")
+		figure7     = flag.Bool("figure7", false, "Figure 7: 529-cell design")
+		runtimeFlag = flag.Bool("runtime", false, "runtime-ratio observation")
+		segsweep    = flag.Bool("segsweep", false, "segmentation-tradeoff study (extension)")
+		fast        = flag.Bool("fast", false, "reduced effort (quick smoke run)")
+		csvPath     = flag.String("csv", "", "write Figure 6 series to this CSV file (default stdout)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		design      = flag.String("design", "s1", "design for -figure6 and -runtime")
+		chains      = flag.Int("chains", 1, "parallel annealing chains for the simultaneous flow (1 = serial)")
+		workers     = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only)")
+		stats       = flag.Bool("stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
+		pprofP      = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	)
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *figure6, *figure7, *runtime, *segsweep = true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure7, *runtimeFlag, *segsweep = true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure7 && !*runtime && !*segsweep {
+	if !*table1 && !*table2 && !*figure6 && !*figure7 && !*runtimeFlag && !*segsweep {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,9 +65,47 @@ func main() {
 		fmt.Printf("effort: %s\n\n", e.Name)
 	}
 
-	if err := run(*table1, *table2, *figure6, *figure7, *runtime, e, *seed, *design, *csvPath); err != nil {
+	var sum *metrics.Summary
+	if *stats {
+		sum = metrics.NewSummary()
+		e.Metrics = sum
+	}
+	if *pprofP != "" {
+		cf, err := os.Create(*pprofP + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			hf, err := os.Create(*pprofP + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				return
+			}
+			defer hf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(hf); err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+			}
+		}()
+	}
+
+	if err := run(*table1, *table2, *figure6, *figure7, *runtimeFlag, e, *seed, *design, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
 		os.Exit(1)
+	}
+	if sum != nil {
+		fmt.Println()
+		if err := sum.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
 	}
 	if *segsweep {
 		rows, err := exper.SegmentationSweep(*design, 24, e, *seed)

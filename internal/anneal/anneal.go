@@ -11,6 +11,7 @@ package anneal
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Problem is a state that the engine can perturb. Propose applies a tentative
@@ -66,9 +67,10 @@ type TempStats struct {
 	Temp     float64
 	Moves    int
 	Accepted int
-	Cost     float64 // cost at end of the temperature
-	BestCost float64 // best cost seen so far
-	StdCost  float64 // cost standard deviation within the temperature
+	Cost     float64       // cost at end of the temperature
+	BestCost float64       // best cost seen so far
+	StdCost  float64       // cost standard deviation within the temperature
+	Elapsed  time.Duration // wall clock spent in this temperature (reporting only)
 }
 
 // AcceptRatio returns the fraction of proposed moves accepted.
@@ -108,13 +110,15 @@ type Chain struct {
 	rng    *rand.Rand
 	onTemp func(TempStats)
 
-	started bool
-	done    bool
-	temp    float64
-	best    float64
-	frozen  int
-	step    int
-	res     Result
+	started   bool
+	done      bool
+	temp      float64
+	best      float64
+	frozen    int
+	step      int
+	res       Result
+	wall      time.Duration // wall clock spent in Step (reporting only)
+	adoptions int           // times this chain restarted from a champion
 }
 
 // NewChain prepares a chain; no moves are made until the first Step.
@@ -133,6 +137,14 @@ func (c *Chain) Done() bool { return c.done }
 // Temps returns the number of completed temperature steps (excluding warmup).
 func (c *Chain) Temps() int { return c.step }
 
+// Wall returns the wall clock spent stepping this chain so far. It is
+// reporting-only and never influences the chain's trajectory.
+func (c *Chain) Wall() time.Duration { return c.wall }
+
+// Adoptions returns how many times the chain restarted from a champion's
+// state at a synchronization barrier.
+func (c *Chain) Adoptions() int { return c.adoptions }
+
 // Result reports the chain's run so far.
 func (c *Chain) Result() Result {
 	r := c.res
@@ -148,8 +160,10 @@ func (c *Chain) Step() bool {
 	if c.done {
 		return false
 	}
+	start := time.Now()
+	defer func() { c.wall += time.Since(start) }()
 	if !c.started {
-		c.warmup()
+		c.warmup(start)
 		return true
 	}
 	c.step++
@@ -177,7 +191,7 @@ func (c *Chain) Step() bool {
 	improved := c.best < bestBefore
 	if c.onTemp != nil {
 		c.onTemp(TempStats{Step: c.step, Temp: c.temp, Moves: c.cfg.MovesPerTemp, Accepted: accepted,
-			Cost: c.p.Cost(), BestCost: c.best, StdCost: st.std()})
+			Cost: c.p.Cost(), BestCost: c.best, StdCost: st.std(), Elapsed: time.Since(start)})
 	}
 	// A temperature is stagnant when it neither improved the best nor
 	// shows real cost movement: acceptance collapsed, or all accepted
@@ -207,8 +221,9 @@ func (c *Chain) Step() bool {
 }
 
 // warmup is the initial random walk: accept everything, measure the cost
-// spread, derive the starting temperature.
-func (c *Chain) warmup() {
+// spread, derive the starting temperature. start is when the enclosing Step
+// began, for the reporting-only Elapsed field.
+func (c *Chain) warmup(start time.Time) {
 	var warm stats
 	for i := 0; i < c.cfg.MovesPerTemp; i++ {
 		c.p.Propose(c.rng)
@@ -224,7 +239,7 @@ func (c *Chain) warmup() {
 	c.res = Result{TotalMoves: c.cfg.MovesPerTemp, Accepted: c.cfg.MovesPerTemp}
 	if c.onTemp != nil {
 		c.onTemp(TempStats{Step: 0, Temp: c.temp, Moves: c.cfg.MovesPerTemp, Accepted: c.cfg.MovesPerTemp,
-			Cost: c.p.Cost(), BestCost: c.best, StdCost: sigma})
+			Cost: c.p.Cost(), BestCost: c.best, StdCost: sigma, Elapsed: time.Since(start)})
 	}
 	c.started = true
 }
@@ -238,6 +253,7 @@ func (c *Chain) adopt(p Problem) {
 	if cost := p.Cost(); cost < c.best {
 		c.best = cost
 	}
+	c.adoptions++
 	c.frozen = 0
 	c.done = c.step >= c.cfg.MaxTemps
 }

@@ -10,6 +10,7 @@ package anneal
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Forkable is a Problem whose full state can be deep-copied, enabling
@@ -59,6 +60,18 @@ type ParallelResult struct {
 
 	// PerChain holds every chain's individual result, indexed by chain.
 	PerChain []Result
+
+	// ChampionSwitches counts barriers at which the champion index changed
+	// (chain 0 is the incumbent before the first barrier).
+	ChampionSwitches int
+
+	// Wall is the wall clock spent stepping each chain (reporting only:
+	// scheduling never affects results), indexed by chain.
+	Wall []time.Duration
+
+	// Adoptions counts, per chain, how many times the chain restarted from a
+	// clone of the champion at a synchronization barrier.
+	Adoptions []int
 }
 
 // DeriveSeed returns the deterministic seed for the given chain index:
@@ -109,12 +122,18 @@ func RunParallel(p Forkable, cfg ParallelConfig, onTemp func(chain int, p Proble
 	}
 
 	restarts := 0
+	switches := 0
+	incumbent := 0
 	for anyLive(chains) {
 		runRound(chains, workers, syncTemps)
 
 		// Championship and elite migration happen serially between rounds, so
 		// they are scheduling-independent.
 		champ := champion(chains)
+		if champ != incumbent {
+			switches++
+			incumbent = champ
+		}
 		champCost := chains[champ].p.Cost()
 		cf, forkable := chains[champ].p.(Forkable)
 		if !forkable {
@@ -132,15 +151,23 @@ func RunParallel(p Forkable, cfg ParallelConfig, onTemp func(chain int, p Proble
 	}
 
 	champ := champion(chains)
+	if champ != incumbent {
+		switches++
+	}
 	res := ParallelResult{
-		Result:   chains[champ].Result(),
-		Champion: champ,
-		Restarts: restarts,
-		Best:     chains[champ].p,
-		PerChain: make([]Result, k),
+		Result:           chains[champ].Result(),
+		Champion:         champ,
+		Restarts:         restarts,
+		Best:             chains[champ].p,
+		PerChain:         make([]Result, k),
+		ChampionSwitches: switches,
+		Wall:             make([]time.Duration, k),
+		Adoptions:        make([]int, k),
 	}
 	for i := range chains {
 		res.PerChain[i] = chains[i].Result()
+		res.Wall[i] = chains[i].wall
+		res.Adoptions[i] = chains[i].adoptions
 	}
 	return res
 }

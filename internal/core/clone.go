@@ -41,6 +41,10 @@ func (o *Optimizer) Clone() *Optimizer {
 
 		dynamics: append([]DynamicsSample(nil), o.dynamics...),
 		window:   o.window,
+
+		chain:   o.chain,
+		lastRt:  o.lastRt,
+		lastSTA: o.lastSTA,
 	}
 	for id := range o.Rts {
 		c.Rts[id] = o.Rts[id].Clone()

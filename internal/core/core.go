@@ -23,7 +23,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/arch"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/groute"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/timing"
 )
@@ -84,6 +86,13 @@ type Config struct {
 	// SyncTemps is the number of temperatures between chain synchronization
 	// barriers (default 8).
 	SyncTemps int
+
+	// Metrics, when non-nil, receives per-temperature, per-phase and
+	// per-chain observability records. It must be safe for concurrent use
+	// (parallel chains share it). nil disables collection entirely: the move
+	// loop then performs no collector calls and allocates nothing extra.
+	// Collection never affects results.
+	Metrics metrics.Collector
 }
 
 func (c *Config) setDefaults() {
@@ -150,10 +159,12 @@ type Result struct {
 	CriticalPath []int32
 
 	// Parallel-run report; zero values on the serial path.
-	Chains     int       // number of annealing chains (0 or 1 = serial)
-	Champion   int       // winning chain index
-	Restarts   int       // loser restarts performed at sync barriers
-	ChainCosts []float64 // final annealing cost per chain
+	Chains           int             // number of annealing chains (0 or 1 = serial)
+	Champion         int             // winning chain index
+	Restarts         int             // loser restarts performed at sync barriers
+	ChainCosts       []float64       // final annealing cost per chain
+	ChainWall        []time.Duration // wall clock spent stepping each chain (reporting only)
+	ChampionSwitches int             // barriers at which the champion index changed
 }
 
 // Optimizer is the simultaneous place-and-route engine. It implements
@@ -197,6 +208,14 @@ type Optimizer struct {
 
 	// Adaptive move-range window (RangeLimit extension).
 	window int
+
+	// Observability state: the chain index this optimizer is annealing as,
+	// and the router/STA counter snapshots taken at the last temperature
+	// boundary (for per-temperature deltas). Only read when cfg.Metrics is
+	// non-nil.
+	chain   int
+	lastRt  fabric.RouteStats
+	lastSTA timing.Stats
 }
 
 type moveKind uint8
@@ -211,6 +230,7 @@ const (
 // first routing pass, and a fully initialized timing view.
 func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 	cfg.setDefaults()
+	initDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseInit)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	p, err := layout.NewRandom(a, nl, rng)
 	if err != nil {
@@ -254,6 +274,8 @@ func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 		an.Commit()
 	}
 	o.refreshWeights()
+	o.lastRt, o.lastSTA = o.F.Stats, o.An.Stats()
+	initDone()
 	return o, nil
 }
 
@@ -370,7 +392,9 @@ func (o *Optimizer) annealConfig() anneal.Config {
 func (o *Optimizer) Run() Result {
 	o.dynamics = o.dynamics[:0]
 	o.cellEpochBase = o.epoch
+	annealDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseAnneal)
 	ares := anneal.Run(o, o.annealConfig(), o.onTemp)
+	annealDone()
 	return o.finish(ares)
 }
 
@@ -378,13 +402,17 @@ func (o *Optimizer) Run() Result {
 // repair, the wirability-only timing refresh, and result assembly.
 func (o *Optimizer) finish(ares anneal.Result) Result {
 	rng := rand.New(rand.NewSource(o.cfg.Seed + 2))
+	repairDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseRepair)
 	repairMoves, repairFixed := o.repair(rng)
+	repairDone()
 
 	if !o.timingOn() {
 		// Wirability-only runs still report a real final delay.
+		timingDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseTiming)
 		if err := o.RefreshTiming(); err != nil {
 			panic("core: " + err.Error())
 		}
+		timingDone()
 	}
 	res := Result{
 		G:            o.g,
@@ -412,21 +440,41 @@ func (o *Optimizer) RunParallel() (*Optimizer, Result) {
 	}
 	o.dynamics = o.dynamics[:0]
 	o.cellEpochBase = o.epoch
+	annealDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseAnneal)
 	pres := anneal.RunParallel(o, anneal.ParallelConfig{
 		Config:    o.annealConfig(),
 		Chains:    o.cfg.Chains,
 		Workers:   o.cfg.Workers,
 		SyncTemps: o.cfg.SyncTemps,
-	}, func(_ int, p anneal.Problem, s anneal.TempStats) {
+	}, func(ci int, p anneal.Problem, s anneal.TempStats) {
 		// Each chain maintains its own weights, window and dynamics trace;
 		// the callback only ever touches that chain's optimizer.
-		p.(*Optimizer).onTemp(s)
+		opt := p.(*Optimizer)
+		opt.chain = ci
+		opt.onTemp(s)
 	})
+	annealDone()
+	if mc := o.cfg.Metrics; mc != nil {
+		for i := range pres.PerChain {
+			mc.RecordChain(metrics.ChainRecord{
+				Chain:     i,
+				Temps:     pres.PerChain[i].Temps,
+				Moves:     pres.PerChain[i].TotalMoves,
+				Accepted:  pres.PerChain[i].Accepted,
+				FinalCost: pres.PerChain[i].FinalCost,
+				Wall:      pres.Wall[i],
+				Adoptions: pres.Adoptions[i],
+				Champion:  i == pres.Champion,
+			})
+		}
+	}
 	champ := pres.Best.(*Optimizer)
 	res := champ.finish(pres.Result)
 	res.Chains = o.cfg.Chains
 	res.Champion = pres.Champion
 	res.Restarts = pres.Restarts
+	res.ChampionSwitches = pres.ChampionSwitches
+	res.ChainWall = append([]time.Duration(nil), pres.Wall...)
 	res.ChainCosts = make([]float64, len(pres.PerChain))
 	for i := range pres.PerChain {
 		res.ChainCosts[i] = pres.PerChain[i].FinalCost
@@ -441,9 +489,39 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// onTemp records Figure-6 dynamics, renormalizes weights, and adapts the
-// move-range window toward the classic 0.44 acceptance target.
+// onTemp records Figure-6 dynamics, emits the observability record,
+// renormalizes weights, and adapts the move-range window toward the classic
+// 0.44 acceptance target.
 func (o *Optimizer) onTemp(s anneal.TempStats) {
+	if mc := o.cfg.Metrics; mc != nil {
+		rt, st := o.F.Stats.Sub(o.lastRt), o.An.Stats().Sub(o.lastSTA)
+		mc.RecordTemp(metrics.TempRecord{
+			Chain:    o.chain,
+			Step:     s.Step,
+			Temp:     s.Temp,
+			Moves:    s.Moves,
+			Accepted: s.Accepted,
+			Cost:     s.Cost,
+			BestCost: s.BestCost,
+			G:        o.g,
+			D:        o.d,
+			GCost:    o.wg * float64(o.g),
+			DCost:    o.wd * (float64(o.d) + o.cfg.DCFraction*float64(o.dc)),
+			TCost:    o.wt * o.An.WCD(),
+			WCD:      o.An.WCD(),
+
+			RipUps:          rt.RipUps,
+			GRouteAttempts:  rt.GRouteAttempts,
+			GRouteFails:     rt.GRouteFails,
+			DRouteAttempts:  rt.DRouteAttempts,
+			DRouteFails:     rt.DRouteFails,
+			STAUpdates:      st.NetUpdates,
+			STACellsRelaxed: st.CellsRelaxed,
+
+			Elapsed: s.Elapsed,
+		})
+		o.lastRt, o.lastSTA = o.F.Stats, o.An.Stats()
+	}
 	n := float64(o.NL.NumNets())
 	o.dynamics = append(o.dynamics, DynamicsSample{
 		Step:             s.Step,
@@ -545,7 +623,9 @@ func (o *Optimizer) cellOnUnroutedNet(rng *rand.Rand) (int32, bool) {
 func (o *Optimizer) Dynamics() []DynamicsSample { return o.dynamics }
 
 // sortWorklist orders net ids by decreasing estimated length (the paper's
-// U_G/U_D priority).
+// U_G/U_D priority). The comparator is a strict total order (length, then
+// id), so any correct sort yields the same sequence; slices.SortFunc is used
+// because, unlike sort.Slice, it does not allocate — this runs on every move.
 func (o *Optimizer) sortWorklist() {
 	if cap(o.estLen) < o.NL.NumNets() {
 		o.estLen = make([]float64, o.NL.NumNets())
@@ -553,12 +633,20 @@ func (o *Optimizer) sortWorklist() {
 	for _, id := range o.worklist {
 		o.estLen[id] = o.P.EstLength(id)
 	}
-	sort.Slice(o.worklist, func(i, j int) bool {
-		a, b := o.worklist[i], o.worklist[j]
+	slices.SortFunc(o.worklist, func(a, b int32) int {
 		if o.estLen[a] != o.estLen[b] {
-			return o.estLen[a] > o.estLen[b]
+			if o.estLen[a] > o.estLen[b] {
+				return -1
+			}
+			return 1
 		}
-		return a < b
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -154,6 +154,7 @@ func (o *Optimizer) ripNet(id int32) {
 		return
 	}
 	o.journalNet(id, true)
+	o.F.Stats.RipUps++
 	r := &o.Rts[id]
 	if r.Global {
 		o.g++

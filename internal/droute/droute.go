@@ -50,9 +50,11 @@ func PickTrack(f *fabric.Fabric, ch, lo, hi int, cost Cost) (track, segLo, segHi
 // chosen segments. The entry must currently be unrouted. Returns false when
 // no track can host the interval.
 func RouteChan(f *fabric.Fabric, id int32, r *fabric.NetRoute, ci int, cost Cost) bool {
+	f.Stats.DRouteAttempts++
 	ca := &r.Chans[ci]
 	t, sl, sh, ok := PickTrack(f, ca.Ch, ca.Lo, ca.Hi, cost)
 	if !ok {
+		f.Stats.DRouteFails++
 		return false
 	}
 	f.AllocH(ca.Ch, t, sl, sh, id)

@@ -66,6 +66,9 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 	if len(items) == 0 {
 		return 0
 	}
+	// One attempt per channel need; the salvage RouteChan calls at commit
+	// count their own attempts on top, as genuinely separate tries.
+	f.Stats.DRouteAttempts += int64(len(items))
 	// Longest intervals first: they have the fewest alternatives, so they
 	// should claim resources first both during negotiation and at commit.
 	// The (net, ci) tiebreak makes the ordering a total one — a net with two
@@ -194,7 +197,7 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 			if RouteChan(f, it.net, &routes[it.net], it.ci, base) {
 				continue
 			}
-			failed++
+			failed++ // the salvage RouteChan already counted the failure
 		}
 		return failed
 	}

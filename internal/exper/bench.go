@@ -1,0 +1,176 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BenchSchema versions the BENCH_*.json report emitted by cmd/bench. Bump on
+// any breaking change to BenchReport/BenchRow.
+const BenchSchema = "repro-bench/v1"
+
+// BenchReport is the schema-versioned output of one cmd/bench run. All
+// quality fields (final cost, unrouted counts, critical path) are
+// deterministic for a fixed (effort, seed, tracks, chains) tuple; only the
+// wall-clock and throughput fields vary between runs and machines.
+type BenchReport struct {
+	Schema    string     `json:"schema"`
+	Generated string     `json:"generated,omitempty"` // RFC3339; ignored by comparisons
+	GoVersion string     `json:"go_version,omitempty"`
+	Effort    string     `json:"effort"`
+	Seed      int64      `json:"seed"`
+	Tracks    int        `json:"tracks"`
+	Chains    int        `json:"chains"`
+	Rows      []BenchRow `json:"benchmarks"`
+}
+
+// BenchRow is one benchmark design's result.
+type BenchRow struct {
+	Design      string  `json:"design"`
+	Cells       int     `json:"cells"`
+	Nets        int     `json:"nets"`
+	FullyRouted bool    `json:"fully_routed"`
+	Unrouted    int     `json:"unrouted"`         // nets lacking a complete detailed route (D)
+	GUnrouted   int     `json:"global_unrouted"`  // globally unroutable nets (G)
+	WCDPs       float64 `json:"critical_path_ps"` // worst-case delay
+	FinalCost   float64 `json:"final_cost"`
+	Temps       int     `json:"temps"`
+	Moves       int     `json:"moves"`
+	Accepted    int     `json:"accepted"`
+	Restarts    int     `json:"restarts"` // elite-migration restarts (parallel runs)
+
+	// Machine-dependent fields; excluded from quality comparisons.
+	WallMS          float64 `json:"wall_ms"`
+	PeakMovesPerSec float64 `json:"peak_moves_per_sec"`
+}
+
+// RunBenchmark executes the simultaneous flow on one named design and reports
+// the row. The effort's collector (if any) observes the run; a private
+// Summary is layered on top to extract peak throughput.
+func RunBenchmark(design string, e Effort, seed int64, tracks int) (BenchRow, error) {
+	nl, err := Design(design)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	a, err := ArchFor(nl, tracks)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	sum := metrics.NewSummary()
+	e.Metrics = metrics.Multi(e.Metrics, sum)
+	_, res, dur, err := RunSim(a, nl, e, seed, false)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	return BenchRow{
+		Design:          design,
+		Cells:           nl.NumCells(),
+		Nets:            nl.NumNets(),
+		FullyRouted:     res.FullyRouted,
+		Unrouted:        res.D,
+		GUnrouted:       res.G,
+		WCDPs:           res.WCD,
+		FinalCost:       res.FinalCost,
+		Temps:           res.Anneal.Temps,
+		Moves:           res.Anneal.TotalMoves,
+		Accepted:        res.Anneal.Accepted,
+		Restarts:        res.Restarts,
+		WallMS:          float64(dur) / float64(time.Millisecond),
+		PeakMovesPerSec: sum.PeakMovesPerSec(),
+	}, nil
+}
+
+// BenchDesigns is the default benchmark suite for cmd/bench: the test-sized
+// design plus two of the paper's Table-1 designs, small enough that the
+// fast-effort suite stays a CI smoke run.
+func BenchDesigns() []string { return []string{"tiny", "s1", "cse"} }
+
+// WriteBenchReport writes the report as indented JSON.
+func WriteBenchReport(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a report and validates its schema tag.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report: schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareOptions tunes CompareBenchReports.
+type CompareOptions struct {
+	// WallTol is the allowed relative wall-time regression (0.25 = +25%).
+	WallTol float64
+	// WallSlackMS is an absolute grace on top of WallTol, so sub-second
+	// benchmarks on differently loaded machines do not flake the gate.
+	WallSlackMS float64
+}
+
+// DefaultCompareOptions returns the CI gate settings: fail on >25% wall-time
+// regression (plus 250 ms absolute slack) or on any quality worsening.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{WallTol: 0.25, WallSlackMS: 250}
+}
+
+// CompareBenchReports checks cur against base and returns one message per
+// regression (empty = gate passes). Quality metrics (unrouted counts,
+// critical path) are deterministic for a fixed configuration, so any
+// worsening at all fails; wall time gets the configured tolerance. Comparing
+// reports from different configurations is itself an error.
+func CompareBenchReports(base, cur *BenchReport, opt CompareOptions) ([]string, error) {
+	if base.Effort != cur.Effort || base.Seed != cur.Seed || base.Tracks != cur.Tracks || base.Chains != cur.Chains {
+		return nil, fmt.Errorf("bench compare: configuration mismatch (base %s/seed %d/tracks %d/chains %d, current %s/seed %d/tracks %d/chains %d)",
+			base.Effort, base.Seed, base.Tracks, base.Chains, cur.Effort, cur.Seed, cur.Tracks, cur.Chains)
+	}
+	baseRows := make(map[string]BenchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.Design] = r
+	}
+	var regressions []string
+	for _, c := range cur.Rows {
+		b, ok := baseRows[c.Design]
+		if !ok {
+			continue // new benchmark: nothing to gate against
+		}
+		if c.Unrouted > b.Unrouted {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: unrouted nets %d -> %d", c.Design, b.Unrouted, c.Unrouted))
+		}
+		if c.GUnrouted > b.GUnrouted {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: globally unrouted nets %d -> %d", c.Design, b.GUnrouted, c.GUnrouted))
+		}
+		if c.WCDPs > b.WCDPs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: critical path %.1f ps -> %.1f ps", c.Design, b.WCDPs, c.WCDPs))
+		}
+		if limit := b.WallMS*(1+opt.WallTol) + opt.WallSlackMS; c.WallMS > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: wall time %.0f ms -> %.0f ms (limit %.0f ms)", c.Design, b.WallMS, c.WallMS, limit))
+		}
+	}
+	for _, b := range base.Rows {
+		found := false
+		for _, c := range cur.Rows {
+			if c.Design == b.Design {
+				found = true
+				break
+			}
+		}
+		if !found {
+			regressions = append(regressions, fmt.Sprintf("%s: benchmark missing from current report", b.Design))
+		}
+	}
+	return regressions, nil
+}

@@ -1,0 +1,168 @@
+package exper
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// goldenReport is a fixed report whose serialized form is pinned by testdata.
+// Changing the JSON shape without bumping BenchSchema breaks this test on
+// purpose.
+func goldenReport() *BenchReport {
+	return &BenchReport{
+		Schema:    BenchSchema,
+		Generated: "2026-01-02T03:04:05Z",
+		GoVersion: "go1.24.0",
+		Effort:    "fast",
+		Seed:      1,
+		Tracks:    38,
+		Chains:    1,
+		Rows: []BenchRow{{
+			Design: "tiny", Cells: 30, Nets: 40,
+			FullyRouted: true, Unrouted: 0, GUnrouted: 0,
+			WCDPs: 1234.5, FinalCost: 6.789,
+			Temps: 50, Moves: 9000, Accepted: 4000, Restarts: 0,
+			WallMS: 125.25, PeakMovesPerSec: 72000,
+		}},
+	}
+}
+
+func TestBenchReportGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bench_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate by writing the test output): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("BENCH JSON schema drifted from %s.\ngot:\n%s\nwant:\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenReport()
+	if got.Seed != want.Seed || got.Effort != want.Effort || len(got.Rows) != 1 ||
+		got.Rows[0] != want.Rows[0] {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	if _, err := ReadBenchReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	base := goldenReport()
+	opt := DefaultCompareOptions()
+
+	t.Run("identical passes", func(t *testing.T) {
+		regs, err := CompareBenchReports(base, goldenReport(), opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("wall time within tolerance passes", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].WallMS = base.Rows[0].WallMS*1.2 + 100 // inside 25% + 250ms
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("quality and wall regressions flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].Unrouted = 2
+		cur.Rows[0].GUnrouted = 1
+		cur.Rows[0].WCDPs = base.Rows[0].WCDPs * 1.01
+		cur.Rows[0].WallMS = base.Rows[0].WallMS*1.25 + 251
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 4 {
+			t.Errorf("got %d regressions (%v), want 4", len(regs), regs)
+		}
+	})
+
+	t.Run("missing benchmark flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows = nil
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+			t.Errorf("got %v, want one missing-benchmark regression", regs)
+		}
+	})
+
+	t.Run("configuration mismatch errors", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Seed = 2
+		if _, err := CompareBenchReports(base, cur, opt); err == nil {
+			t.Error("seed mismatch accepted")
+		}
+	})
+}
+
+// TestRunBenchmarkDeterministicQuality runs the same benchmark twice and
+// requires bit-identical quality metrics; only wall-clock fields may differ.
+func TestRunBenchmarkDeterministicQuality(t *testing.T) {
+	e := tinyEffort()
+	e.Chains = 1
+	r1, err := RunBenchmark("tiny", e, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBenchmark("tiny", e, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the machine-dependent fields, then require exact equality.
+	r1.WallMS, r2.WallMS = 0, 0
+	r1.PeakMovesPerSec, r2.PeakMovesPerSec = 0, 0
+	if r1 != r2 {
+		t.Errorf("same-seed benchmark rows differ:\n%+v\n%+v", r1, r2)
+	}
+	if r1.Moves == 0 || r1.Temps == 0 {
+		t.Errorf("benchmark row looks empty: %+v", r1)
+	}
+}
+
+// TestRunBenchmarkFeedsCallerCollector verifies the effort's own collector
+// still sees the run when RunBenchmark layers its private Summary on top.
+func TestRunBenchmarkFeedsCallerCollector(t *testing.T) {
+	e := tinyEffort()
+	sum := metrics.NewSummary()
+	e.Metrics = sum
+	row, err := RunBenchmark("tiny", e, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := sum.Totals()
+	if tot.Moves != row.Moves {
+		t.Errorf("caller collector saw %d moves, row reports %d", tot.Moves, row.Moves)
+	}
+	if row.PeakMovesPerSec <= 0 {
+		t.Errorf("PeakMovesPerSec = %v, want > 0", row.PeakMovesPerSec)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -33,21 +34,30 @@ type Effort struct {
 	RouteAttempts     int
 
 	// Chains/Workers select parallel portfolio annealing for the
-	// simultaneous flow (0 or 1 chain = the serial engine).
+	// simultaneous flow (1 chain = the serial engine). The constructors set
+	// Chains explicitly so that a constructed Effort is always fully
+	// specified; callers (cmd/paper -chains, cmd/bench -chains) override.
 	Chains  int
 	Workers int
+
+	// Metrics, when non-nil, is threaded into every flow the effort runs
+	// (core and seq). It must be safe for concurrent use: table rows run
+	// concurrently and parallel chains share it.
+	Metrics metrics.Collector
 }
 
 // FastEffort is sized for tests and smoke runs.
 func FastEffort() Effort {
 	return Effort{Name: "fast", PlaceMovesPerCell: 6, PlaceMaxTemps: 80,
-		CoreMovesPerCell: 6, CoreMaxTemps: 80, RouteAttempts: 4}
+		CoreMovesPerCell: 6, CoreMaxTemps: 80, RouteAttempts: 4,
+		Chains: 1, Workers: 0}
 }
 
 // PaperEffort is sized for regenerating the reported tables.
 func PaperEffort() Effort {
 	return Effort{Name: "paper", PlaceMovesPerCell: 14, PlaceMaxTemps: 200,
-		CoreMovesPerCell: 12, CoreMaxTemps: 180, RouteAttempts: 10}
+		CoreMovesPerCell: 12, CoreMaxTemps: 180, RouteAttempts: 10,
+		Chains: 1, Workers: 0}
 }
 
 // DefaultTracks is the generous channel capacity used for the timing
@@ -111,13 +121,16 @@ func runSeq(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64) (*seq.Resul
 			MaxTemps:     e.PlaceMaxTemps,
 		},
 		RouteAttempts: e.RouteAttempts,
+		Metrics:       e.Metrics,
 	})
 	return res, time.Since(start), err
 }
 
-// runSim executes the simultaneous flow (parallel portfolio annealing when
-// the effort requests more than one chain).
-func runSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityOnly bool) (*core.Optimizer, core.Result, time.Duration, error) {
+// RunSim executes the simultaneous flow at the given effort (parallel
+// portfolio annealing when the effort requests more than one chain), with the
+// effort's metrics collector threaded through the optimizer. Exported for
+// cmd/bench and for tests that assert the Chains plumbing end to end.
+func RunSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityOnly bool) (*core.Optimizer, core.Result, time.Duration, error) {
 	start := time.Now()
 	o, err := core.New(a, nl, core.Config{
 		Seed:          seed,
@@ -126,12 +139,18 @@ func runSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityO
 		DisableTiming: wirabilityOnly,
 		Chains:        e.Chains,
 		Workers:       e.Workers,
+		Metrics:       e.Metrics,
 	})
 	if err != nil {
 		return nil, core.Result{}, 0, err
 	}
 	o, res := o.RunParallel()
 	return o, res, time.Since(start), nil
+}
+
+// runSim is the historical internal spelling of RunSim.
+func runSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityOnly bool) (*core.Optimizer, core.Result, time.Duration, error) {
+	return RunSim(a, nl, e, seed, wirabilityOnly)
 }
 
 // Table1Row is one line of the paper's Table 1 plus the supporting detail we

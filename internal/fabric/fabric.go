@@ -15,11 +15,40 @@ import (
 // Free marks an unowned segment in the ownership tables.
 const Free int32 = -1
 
+// RouteStats counts router activity on a fabric. The routers (groute, droute,
+// core's rip-up cascade) increment the fields unconditionally — plain integer
+// adds, cheap enough to stay on in the hot loop — and the observability layer
+// snapshots them at temperature boundaries to derive per-temperature deltas.
+// Rollback traffic (Reject reinstating journaled routes) is deliberately not
+// counted: the stats describe router work, not bookkeeping.
+type RouteStats struct {
+	RipUps         int64 // nets ripped up (resources freed ahead of a reroute)
+	GRouteAttempts int64 // global-route attempts
+	GRouteFails    int64 // global-route attempts that found no vertical run
+	DRouteAttempts int64 // detailed channel-route attempts
+	DRouteFails    int64 // detailed attempts with no feasible track
+}
+
+// Sub returns the delta s - prev, for per-interval reporting.
+func (s RouteStats) Sub(prev RouteStats) RouteStats {
+	return RouteStats{
+		RipUps:         s.RipUps - prev.RipUps,
+		GRouteAttempts: s.GRouteAttempts - prev.GRouteAttempts,
+		GRouteFails:    s.GRouteFails - prev.GRouteFails,
+		DRouteAttempts: s.DRouteAttempts - prev.DRouteAttempts,
+		DRouteFails:    s.DRouteFails - prev.DRouteFails,
+	}
+}
+
 // Fabric tracks segment ownership. Ownership violations (allocating an owned
 // segment, freeing a segment not owned by the caller) are programming errors
 // in the routers and panic.
 type Fabric struct {
 	A *arch.Arch
+
+	// Stats accumulates router activity against this fabric. Cloned fabrics
+	// carry the counts forward, so parallel chains keep independent tallies.
+	Stats RouteStats
 
 	h [][][]int32 // [channel][track][segment] -> owning net or Free
 	v [][][]int32 // [column][vtrack][vsegment] -> owning net or Free
@@ -58,7 +87,7 @@ func New(a *arch.Arch) *Fabric {
 // Clone returns a deep copy of the ownership tables, sharing only the
 // immutable architecture.
 func (f *Fabric) Clone() *Fabric {
-	c := &Fabric{A: f.A, usedH: f.usedH, usedV: f.usedV}
+	c := &Fabric{A: f.A, Stats: f.Stats, usedH: f.usedH, usedV: f.usedV}
 	c.h = make([][][]int32, len(f.h))
 	for ch := range f.h {
 		c.h[ch] = make([][]int32, len(f.h[ch]))

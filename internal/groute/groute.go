@@ -59,6 +59,7 @@ func appendNeeds(dst []fabric.ChanAssign, p *layout.Placement, id int32) []fabri
 // Single-channel nets need no vertical resources and always succeed. Nets
 // with no sinks are trivially globally routed with no resources at all.
 func Route(f *fabric.Fabric, p *layout.Placement, id int32, r *fabric.NetRoute) bool {
+	f.Stats.GRouteAttempts++
 	if len(p.NL.Nets[id].Sinks) == 0 {
 		r.Global = true
 		return true
@@ -120,11 +121,13 @@ func Route(f *fabric.Fabric, p *layout.Placement, id int32, r *fabric.NetRoute) 
 			}
 		}
 	}
+	f.Stats.GRouteFails++
 	return false
 }
 
 // RipUp releases everything net id holds and resets its route descriptor.
 func RipUp(f *fabric.Fabric, id int32, r *fabric.NetRoute) {
+	f.Stats.RipUps++
 	f.RemoveRoute(id, r)
 	r.Reset()
 }

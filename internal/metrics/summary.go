@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Summary aggregates every record into run totals: move/acceptance counts,
+// router and STA activity, per-phase wall clock, peak throughput, and the
+// final per-chain table. It is safe for concurrent use.
+type Summary struct {
+	mu sync.Mutex
+
+	temps    int // temperature records seen (warmup included)
+	moves    int
+	accepted int
+
+	ripUps          int64
+	gRouteAttempts  int64
+	gRouteFails     int64
+	dRouteAttempts  int64
+	dRouteFails     int64
+	staUpdates      int64
+	staCellsRelaxed int64
+
+	peakMovesPerSec float64
+	lastTemp        TempRecord
+
+	phaseDur   [NumPhases]time.Duration
+	phaseCount [NumPhases]int
+
+	chains []ChainRecord
+}
+
+// NewSummary returns an empty summary collector.
+func NewSummary() *Summary { return &Summary{} }
+
+// RecordTemp implements Collector.
+func (s *Summary) RecordTemp(r TempRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.temps++
+	s.moves += r.Moves
+	s.accepted += r.Accepted
+	s.ripUps += r.RipUps
+	s.gRouteAttempts += r.GRouteAttempts
+	s.gRouteFails += r.GRouteFails
+	s.dRouteAttempts += r.DRouteAttempts
+	s.dRouteFails += r.DRouteFails
+	s.staUpdates += r.STAUpdates
+	s.staCellsRelaxed += r.STACellsRelaxed
+	if mps := r.MovesPerSec(); mps > s.peakMovesPerSec {
+		s.peakMovesPerSec = mps
+	}
+	if r.Step >= s.lastTemp.Step || r.Chain != s.lastTemp.Chain {
+		s.lastTemp = r
+	}
+}
+
+// RecordPhase implements Collector.
+func (s *Summary) RecordPhase(r PhaseRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Phase < NumPhases {
+		s.phaseDur[r.Phase] += r.Elapsed
+		s.phaseCount[r.Phase]++
+	}
+}
+
+// RecordChain implements Collector.
+func (s *Summary) RecordChain(r ChainRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chains = append(s.chains, r)
+}
+
+// Totals is a snapshot of a Summary's aggregates.
+type Totals struct {
+	Temps    int
+	Moves    int
+	Accepted int
+
+	RipUps          int64
+	GRouteAttempts  int64
+	GRouteFails     int64
+	DRouteAttempts  int64
+	DRouteFails     int64
+	STAUpdates      int64
+	STACellsRelaxed int64
+
+	PeakMovesPerSec float64
+	LastTemp        TempRecord
+
+	PhaseDur [NumPhases]time.Duration
+	Chains   []ChainRecord
+}
+
+// Totals returns a consistent snapshot of the aggregates so far.
+func (s *Summary) Totals() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := Totals{
+		Temps:           s.temps,
+		Moves:           s.moves,
+		Accepted:        s.accepted,
+		RipUps:          s.ripUps,
+		GRouteAttempts:  s.gRouteAttempts,
+		GRouteFails:     s.gRouteFails,
+		DRouteAttempts:  s.dRouteAttempts,
+		DRouteFails:     s.dRouteFails,
+		STAUpdates:      s.staUpdates,
+		STACellsRelaxed: s.staCellsRelaxed,
+		PeakMovesPerSec: s.peakMovesPerSec,
+		LastTemp:        s.lastTemp,
+		PhaseDur:        s.phaseDur,
+		Chains:          append([]ChainRecord(nil), s.chains...),
+	}
+	sort.Slice(t.Chains, func(i, j int) bool { return t.Chains[i].Chain < t.Chains[j].Chain })
+	return t
+}
+
+// PeakMovesPerSec returns the highest single-temperature throughput observed.
+func (s *Summary) PeakMovesPerSec() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakMovesPerSec
+}
+
+// WriteText prints a human-readable report of the collected statistics.
+func (s *Summary) WriteText(w io.Writer) error {
+	t := s.Totals()
+	// Sections with no records are omitted: a flow that was never
+	// temperature-instrumented (the sequential baseline) reports only its
+	// phase timers rather than misleading zero counters.
+	if t.Temps > 0 {
+		ratio := 0.0
+		if t.Moves > 0 {
+			ratio = float64(t.Accepted) / float64(t.Moves)
+		}
+		if _, err := fmt.Fprintf(w, "anneal   %d temps, %d moves, %d accepted (%.1f%%), peak %.0f moves/s\n",
+			t.Temps, t.Moves, t.Accepted, 100*ratio, t.PeakMovesPerSec); err != nil {
+			return err
+		}
+	}
+	if t.RipUps+t.GRouteAttempts+t.DRouteAttempts > 0 {
+		fmt.Fprintf(w, "routing  %d rip-ups, global %d attempts (%d failed), detailed %d attempts (%d failed)\n",
+			t.RipUps, t.GRouteAttempts, t.GRouteFails, t.DRouteAttempts, t.DRouteFails)
+	}
+	if t.STAUpdates+t.STACellsRelaxed > 0 {
+		fmt.Fprintf(w, "timing   %d incremental net updates, %d cell arrivals relaxed\n",
+			t.STAUpdates, t.STACellsRelaxed)
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if t.PhaseDur[p] > 0 {
+			fmt.Fprintf(w, "phase    %-13s %v\n", p.String(), t.PhaseDur[p].Round(time.Microsecond))
+		}
+	}
+	for _, c := range t.Chains {
+		mark := " "
+		if c.Champion {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "chain %s%d  %d temps, %d moves, cost %.4f, wall %v, %d adoptions\n",
+			mark, c.Chain, c.Temps, c.Moves, c.FinalCost, c.Wall.Round(time.Microsecond), c.Adoptions)
+	}
+	return nil
+}
+
+var _ Collector = (*Summary)(nil)

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceSchema versions the JSONL event stream. Bump on any breaking change to
+// the event shapes below.
+const TraceSchema = "repro-trace/v1"
+
+// Trace is a Collector that writes one JSON object per event to a stream
+// (JSONL). The first line is always a header event carrying the schema
+// version. Events are written under a lock, so concurrent chains interleave
+// whole lines, never bytes; per-chain event order is preserved.
+type Trace struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// traceEvent is the on-the-wire shape of every trace line. Event is one of
+// "header", "temp", "phase", "chain"; exactly one of the payload pointers is
+// set (plus Schema on the header).
+type traceEvent struct {
+	Event  string       `json:"event"`
+	Schema string       `json:"schema,omitempty"`
+	Temp   *TempRecord  `json:"temp,omitempty"`
+	Phase  *phaseEvent  `json:"phase,omitempty"`
+	Chain  *ChainRecord `json:"chain,omitempty"`
+}
+
+// phaseEvent names the phase explicitly so the stream is self-describing.
+type phaseEvent struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// NewTrace returns a tracer writing to w, emitting the schema header
+// immediately.
+func NewTrace(w io.Writer) *Trace {
+	t := &Trace{enc: json.NewEncoder(w)}
+	t.emit(traceEvent{Event: "header", Schema: TraceSchema})
+	return t
+}
+
+func (t *Trace) emit(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+// RecordTemp implements Collector.
+func (t *Trace) RecordTemp(r TempRecord) {
+	t.emit(traceEvent{Event: "temp", Temp: &r})
+}
+
+// RecordPhase implements Collector.
+func (t *Trace) RecordPhase(r PhaseRecord) {
+	t.emit(traceEvent{Event: "phase", Phase: &phaseEvent{Name: r.Phase.String(), ElapsedNS: int64(r.Elapsed)}})
+}
+
+// RecordChain implements Collector.
+func (t *Trace) RecordChain(r ChainRecord) {
+	t.emit(traceEvent{Event: "chain", Chain: &r})
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+var _ Collector = (*Trace)(nil)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/groute"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/timing"
@@ -42,6 +43,11 @@ type Config struct {
 	// router instead of the paper-era ordered single-pass router — a
 	// post-paper extension offered for comparison.
 	Negotiated bool
+
+	// Metrics, when non-nil, receives per-phase wall-clock records for the
+	// four sequential stages (place, global-route, detail-route, timing).
+	// Collection never affects results.
+	Metrics metrics.Collector
 }
 
 func (c *Config) setDefaults() {
@@ -78,6 +84,7 @@ type Result struct {
 func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 
+	placeDone := metrics.StartPhase(cfg.Metrics, metrics.PhasePlace)
 	p, pres, err := place.Place(a, nl, cfg.Place)
 	if err != nil {
 		return nil, err
@@ -95,17 +102,22 @@ func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	placeDone()
 
 	f := fabric.New(a)
 	routes := make([]fabric.NetRoute, nl.NumNets())
+	grouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseGlobalRoute)
 	gFailed := groute.RouteAll(f, p, routes)
+	grouteDone()
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
 	var dFailed int
+	drouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseDetailRoute)
 	if cfg.Negotiated {
 		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{})
 	} else {
 		dFailed = droute.RouteAllDetailed(f, routes, cfg.DrouteCost, cfg.RouteAttempts, rng)
 	}
+	drouteDone()
 
 	res := &Result{
 		P:            p,
@@ -122,6 +134,7 @@ func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	}
 	res.FullyRouted = res.UnroutedNets == 0
 
+	timingDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseTiming)
 	an, err := timing.NewAnalyzer(nl)
 	if err != nil {
 		return nil, err
@@ -145,6 +158,7 @@ func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	res.WCD = an.Propagate()
 	an.Commit()
 	res.CriticalCells = an.CriticalPath()
+	timingDone()
 	return res, nil
 }
 

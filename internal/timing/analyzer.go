@@ -23,6 +23,7 @@ type Analyzer struct {
 	sinkIdx  [][]int32   // per cell, per input pin: index into net.Sinks
 	sinkPins []netlist.PinRef
 	wcd      float64
+	stats    Stats
 
 	// Move journal.
 	inMove     bool
@@ -37,6 +38,29 @@ type Analyzer struct {
 	frontier   levelHeap
 	inFrontier []uint32 // per cell: epoch when enqueued
 }
+
+// Stats counts incremental-analysis activity: how many net-delay updates were
+// pushed in, how many propagation passes ran, and how many cell arrivals were
+// actually recomputed by the frontier. The counters are always on (plain
+// integer adds); the observability layer snapshots them at temperature
+// boundaries.
+type Stats struct {
+	NetUpdates   int64 // SetNetDelays calls
+	Propagates   int64 // Propagate calls
+	CellsRelaxed int64 // cell arrivals changed by frontier propagation
+}
+
+// Sub returns the delta s - prev, for per-interval reporting.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		NetUpdates:   s.NetUpdates - prev.NetUpdates,
+		Propagates:   s.Propagates - prev.Propagates,
+		CellsRelaxed: s.CellsRelaxed - prev.CellsRelaxed,
+	}
+}
+
+// Stats returns the analyzer's cumulative activity counters.
+func (t *Analyzer) Stats() Stats { return t.stats }
 
 // NewAnalyzer levelizes the netlist and initializes all net delays to zero
 // (arrivals then reflect pure logic depth until delays are supplied).
@@ -117,6 +141,7 @@ func (t *Analyzer) Clone() *Analyzer {
 		sinkIdx:  t.sinkIdx,
 		sinkPins: t.sinkPins,
 		wcd:      t.wcd,
+		stats:    t.stats,
 
 		stamp:      make([]uint32, len(t.stamp)),
 		netStamp:   make([]uint32, len(t.netStamp)),
@@ -207,6 +232,7 @@ func (t *Analyzer) SetNetDelays(id int32, d []float64) {
 	if len(d) != len(t.netDelay[id]) {
 		panic(fmt.Sprintf("timing: net %d delay arity %d, want %d", id, len(d), len(t.netDelay[id])))
 	}
+	t.stats.NetUpdates++
 	if t.netStamp[id] != t.epoch {
 		t.netStamp[id] = t.epoch
 		t.jNets = append(t.jNets, id)
@@ -229,6 +255,7 @@ func (t *Analyzer) Propagate() float64 {
 	if !t.inMove {
 		panic("timing: Propagate outside a move")
 	}
+	t.stats.Propagates++
 	t.frontier = t.frontier[:0]
 	for _, nid := range t.jNets {
 		for _, s := range t.nl.Nets[nid].Sinks {
@@ -247,6 +274,7 @@ func (t *Analyzer) Propagate() float64 {
 			t.jOldArr = append(t.jOldArr, t.arr[cell])
 		}
 		t.arr[cell] = nv
+		t.stats.CellsRelaxed++
 		if out := t.nl.Cells[cell].Out; out >= 0 {
 			for _, s := range t.nl.Nets[out].Sinks {
 				t.push(s.Cell)
