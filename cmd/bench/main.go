@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bench -effort fast -seed 1                    # write BENCH_<date>.json
+//	bench -suite paper                            # full Table-1 + big529 run at paper effort
 //	bench -out BENCH_baseline.json                # (re)generate the CI baseline
 //	bench -compare BENCH_baseline.json            # CI gate: exit 1 on regression
 //	bench -trace run.jsonl                        # also dump the event stream
@@ -25,6 +26,7 @@ import (
 
 func main() {
 	var (
+		suite      = flag.String("suite", "small", `benchmark suite: "small" (CI smoke) or "paper" (all Table-1 designs plus big529, defaulting to paper effort)`)
 		effortFlag = flag.String("effort", "fast", "effort level: fast or paper")
 		seed       = flag.Int64("seed", 1, "random seed (quality metrics are deterministic per seed)")
 		designs    = flag.String("designs", strings.Join(exper.BenchDesigns(), ","), "comma-separated design names")
@@ -37,6 +39,25 @@ func main() {
 		wallTol    = flag.Float64("wall-tol", 0.25, "allowed relative wall-time regression for -compare")
 	)
 	flag.Parse()
+
+	// The paper suite swaps in the full design list and paper effort, but an
+	// explicit -designs or -effort on the command line still wins.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *suite {
+	case "small":
+		// defaults above
+	case "paper":
+		if !explicit["designs"] {
+			*designs = strings.Join(exper.PaperBenchDesigns(), ",")
+		}
+		if !explicit["effort"] {
+			*effortFlag = "paper"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown -suite %q (want small or paper)\n", *suite)
+		os.Exit(1)
+	}
 
 	if err := run(*effortFlag, *seed, *designs, *tracks, *chains, *workers, *out, *tracePath, *compare, *wallTol); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,0 +1,86 @@
+// Command fpgaprd is the place-and-route job service daemon: the
+// simultaneous place-and-route optimizer behind an HTTP/JSON API with a
+// bounded job queue, a fixed worker pool, cancellation, a deterministic
+// result cache, and per-temperature progress streaming over SSE.
+//
+// Usage:
+//
+//	fpgaprd                              # serve on :8080 with 2 workers
+//	fpgaprd -addr :9000 -workers 4 -queue 32
+//
+// Submit and watch a job:
+//
+//	curl -d '{"design":"s1"}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j1/events        # SSE progress
+//	curl localhost:8080/v1/jobs/j1/layout        # finished layout
+//	curl -X DELETE localhost:8080/v1/jobs/j1     # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "concurrent optimizer runs")
+		queue   = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
+		cache   = flag.Int("cache", 128, "deterministic result cache entries")
+		maxJobs = flag.Int("max-jobs", 512, "retained job records (oldest terminal evicted)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *maxJobs); err != nil {
+		fmt.Fprintln(os.Stderr, "fpgaprd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache, maxJobs int) error {
+	svc := server.New(server.Config{
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheEntries: cache,
+		MaxJobs:      maxJobs,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fpgaprd: serving on %s (%d workers, queue %d)", addr, workers, queue)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("fpgaprd: %v, shutting down", sig)
+	}
+
+	// Cancel in-flight runs first (they stop at the next temperature
+	// boundary, which also ends their SSE streams), then drain connections.
+	svc.Close()
+	ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
+	defer stop()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -34,6 +34,29 @@ type Config struct {
 	MaxTemps     int     // hard cap on temperature steps (default 400)
 	FrozenTemps  int     // stop after this many stagnant, cold temperatures (default 4)
 	AcceptFloor  float64 // acceptance ratio below which a temperature counts as cold (default 0.02)
+
+	// Cancel, when non-nil, requests early termination: the chain polls it at
+	// temperature boundaries only (never inside the move loop) and stops
+	// before the next temperature once the channel is closed. The state left
+	// behind is the consistent state of the last completed temperature, and
+	// Result.Cancelled reports the cut. A nil channel is the no-op default:
+	// the boundary poll is a nil-channel select, the move path is untouched,
+	// and no RNG draw is added, so results are bit-identical to a build
+	// without the hook.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether the cancel channel (possibly nil) has fired.
+func cancelled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 func (c *Config) setDefaults() {
@@ -88,6 +111,7 @@ type Result struct {
 	Temps      int
 	TotalMoves int
 	Accepted   int
+	Cancelled  bool // run was cut short by Config.Cancel
 }
 
 // Run anneals the problem to completion. onTemp, if non-nil, is called after
@@ -112,6 +136,7 @@ type Chain struct {
 
 	started   bool
 	done      bool
+	stopped   bool // terminated by Config.Cancel rather than freeze/budget
 	temp      float64
 	best      float64
 	frozen    int
@@ -150,14 +175,22 @@ func (c *Chain) Result() Result {
 	r := c.res
 	r.FinalCost = c.p.Cost()
 	r.BestCost = c.best
+	r.Cancelled = c.stopped
 	return r
 }
+
+// Cancelled reports whether the chain was terminated by Config.Cancel.
+func (c *Chain) Cancelled() bool { return c.stopped }
 
 // Step advances the chain by one unit — the warmup walk on the first call,
 // one full temperature afterwards — and reports whether work was done. It
 // returns false once the chain is finished.
 func (c *Chain) Step() bool {
 	if c.done {
+		return false
+	}
+	if cancelled(c.cfg.Cancel) {
+		c.done, c.stopped = true, true
 		return false
 	}
 	start := time.Now()

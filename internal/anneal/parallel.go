@@ -125,6 +125,12 @@ func RunParallel(p Forkable, cfg ParallelConfig, onTemp func(chain int, p Proble
 	switches := 0
 	incumbent := 0
 	for anyLive(chains) {
+		// Cancellation is polled at the synchronization barrier (and by every
+		// chain at its own temperature boundaries, so a cancel mid-round stops
+		// the chains before the barrier is even reached).
+		if cancelled(cfg.Cancel) {
+			break
+		}
 		runRound(chains, workers, syncTemps)
 
 		// Championship and elite migration happen serially between rounds, so
@@ -168,6 +174,12 @@ func RunParallel(p Forkable, cfg ParallelConfig, onTemp func(chain int, p Proble
 		res.PerChain[i] = chains[i].Result()
 		res.Wall[i] = chains[i].wall
 		res.Adoptions[i] = chains[i].adoptions
+		if chains[i].stopped {
+			res.Result.Cancelled = true
+		}
+	}
+	if cancelled(cfg.Cancel) {
+		res.Result.Cancelled = true
 	}
 	return res
 }

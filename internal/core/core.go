@@ -93,6 +93,18 @@ type Config struct {
 	// loop then performs no collector calls and allocates nothing extra.
 	// Collection never affects results.
 	Metrics metrics.Collector
+
+	// Cancel, when non-nil, requests early termination: the serial engine
+	// polls it at temperature boundaries, the parallel engine additionally at
+	// synchronization barriers, and the repair phase between passes. Once the
+	// channel closes the run stops at the next boundary, skips the repair
+	// phase, and reports Result.Cancelled with the consistent state of the
+	// last completed temperature. The hook is free when unset: a nil channel
+	// adds no per-move work, no allocations and no RNG draws, so results are
+	// bit-identical with or without the field. Closing the channel is the only
+	// supported signal (send never unblocks more than one poll); to drive it
+	// from a context.Context, pass ctx.Done().
+	Cancel <-chan struct{}
 }
 
 func (c *Config) setDefaults() {
@@ -157,6 +169,7 @@ type Result struct {
 	RepairFixed  int
 	FinalCost    float64
 	CriticalPath []int32
+	Cancelled    bool // run cut short by Config.Cancel (repair skipped)
 
 	// Parallel-run report; zero values on the serial path.
 	Chains           int             // number of annealing chains (0 or 1 = serial)
@@ -384,6 +397,7 @@ func (o *Optimizer) annealConfig() anneal.Config {
 		Seed:         o.cfg.Seed + 1,
 		MovesPerTemp: o.cfg.MovesPerCell * o.NL.NumCells(),
 		MaxTemps:     o.cfg.MaxTemps,
+		Cancel:       o.cfg.Cancel,
 	}
 }
 
@@ -399,12 +413,18 @@ func (o *Optimizer) Run() Result {
 }
 
 // finish is the shared post-annealing tail: zero-temperature routability
-// repair, the wirability-only timing refresh, and result assembly.
+// repair, the wirability-only timing refresh, and result assembly. A
+// cancelled anneal skips the repair phase entirely so termination stays
+// prompt; the rest of the report is still assembled from the consistent
+// last-temperature state.
 func (o *Optimizer) finish(ares anneal.Result) Result {
-	rng := rand.New(rand.NewSource(o.cfg.Seed + 2))
-	repairDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseRepair)
-	repairMoves, repairFixed := o.repair(rng)
-	repairDone()
+	var repairMoves, repairFixed int
+	if !ares.Cancelled {
+		rng := rand.New(rand.NewSource(o.cfg.Seed + 2))
+		repairDone := metrics.StartPhase(o.cfg.Metrics, metrics.PhaseRepair)
+		repairMoves, repairFixed = o.repair(rng)
+		repairDone()
+	}
 
 	if !o.timingOn() {
 		// Wirability-only runs still report a real final delay.
@@ -425,6 +445,7 @@ func (o *Optimizer) finish(ares anneal.Result) Result {
 		RepairFixed:  repairFixed,
 		FinalCost:    o.Cost(),
 		CriticalPath: o.An.CriticalPath(),
+		Cancelled:    ares.Cancelled,
 	}
 	return res
 }
@@ -558,16 +579,31 @@ func minIntc(a, b int) int {
 	return b
 }
 
+// cancelPending reports whether cfg.Cancel has fired (nil = never). It is
+// polled only at phase/pass boundaries, never on the per-move path.
+func (o *Optimizer) cancelPending() bool {
+	if o.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // repair runs greedy zero-temperature passes that target the cells of
 // still-unrouted nets, accepting only non-worsening moves, until the layout
-// is fully routed or the pass budget is exhausted. Returns moves tried and
-// nets fixed.
+// is fully routed, the pass budget is exhausted, or cancellation fires (a
+// cancel arriving mid-repair stops at the next pass boundary). Returns moves
+// tried and nets fixed.
 func (o *Optimizer) repair(rng *rand.Rand) (moves, fixed int) {
 	if o.d == 0 {
 		return 0, 0
 	}
 	startD := o.d
-	for pass := 0; pass < o.cfg.RepairPasses && o.d > 0; pass++ {
+	for pass := 0; pass < o.cfg.RepairPasses && o.d > 0 && !o.cancelPending(); pass++ {
 		budget := 4 * o.NL.NumCells()
 		for i := 0; i < budget && o.d > 0; i++ {
 			dC := o.proposeBiased(rng)

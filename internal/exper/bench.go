@@ -89,6 +89,12 @@ func RunBenchmark(design string, e Effort, seed int64, tracks int) (BenchRow, er
 // fast-effort suite stays a CI smoke run.
 func BenchDesigns() []string { return []string{"tiny", "s1", "cse"} }
 
+// PaperBenchDesigns is the full reproduction suite behind cmd/bench's
+// -suite paper flag: all five Table-1 designs plus the Figure-7 529-cell
+// design. At paper effort this takes minutes, not seconds — it is meant for
+// generating the reproduction tables, never for the CI smoke gate.
+func PaperBenchDesigns() []string { return []string{"s1", "cse", "ex1", "bw", "s1a", "big529"} }
+
 // WriteBenchReport writes the report as indented JSON.
 func WriteBenchReport(w io.Writer, r *BenchReport) error {
 	enc := json.NewEncoder(w)

@@ -1,0 +1,61 @@
+package server
+
+import "sync"
+
+// resultCache is the deterministic layout cache. The optimizer is bit-exact
+// for a fixed (netlist, arch, config, seed) tuple — the property the golden
+// and GOMAXPROCS-invariance tests pin — so a finished JobResult can be served
+// verbatim for any later request with the same cache key, skipping the anneal
+// entirely. Entries are immutable; eviction is FIFO by insertion order.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*JobResult
+	order   []string
+	hits    int64
+	misses  int64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: make(map[string]*JobResult, max)}
+}
+
+func (c *resultCache) get(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *resultCache) put(key string, r *JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // first writer wins; results for one key are identical anyway
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = r
+	c.order = append(c.order, key)
+}
+
+// CacheStats is the cache section of /statsz.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/exper"
+	"repro/internal/netlist"
+)
+
+// FuzzJobRequest hammers the job-submission decoder: arbitrary bytes must
+// never panic, and any accepted request must canonicalize deterministically —
+// the same body always yields the same cache key, and the canonical netlist
+// must itself reparse (the fixed point the cache dedup relies on).
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"design":"tiny"}`))
+	f.Add([]byte(`{"design":"s1","tracks":24,"config":{"seed":3,"chains":2,"range_limit":true}}`))
+	f.Add([]byte(`{"design":"tiny","config":{"moves_per_cell":8,"max_temps":40,"disable_timing":true}}`))
+	f.Add([]byte(`{"netlist":"","format":"blif"}`))
+	f.Add([]byte(`{"netlist":"not a netlist","format":"xnf"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	if nl, err := exper.Design("tiny"); err == nil {
+		var buf bytes.Buffer
+		if err := netlist.WriteNet(&buf, nl); err == nil {
+			if seed, err := json.Marshal(JobRequest{Netlist: buf.String()}); err == nil {
+				f.Add(seed)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := parseJobRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := parseJobRequest(data)
+		if err != nil {
+			t.Fatalf("accepted once, rejected on reparse: %v", err)
+		}
+		if again.key != spec.key {
+			t.Fatalf("non-deterministic cache key: %s vs %s", spec.key, again.key)
+		}
+		if spec.key == "" || spec.nl == nil || len(spec.canon) == 0 {
+			t.Fatalf("accepted spec incomplete: key=%q nl=%v canon=%d bytes", spec.key, spec.nl, len(spec.canon))
+		}
+		renl, err := netlist.ParseNet(bytes.NewReader(spec.canon))
+		if err != nil {
+			t.Fatalf("canonical netlist does not reparse: %v", err)
+		}
+		var recanon bytes.Buffer
+		if err := netlist.WriteNet(&recanon, renl); err != nil {
+			t.Fatalf("re-serialize canonical netlist: %v", err)
+		}
+		if !bytes.Equal(recanon.Bytes(), spec.canon) {
+			t.Fatal("canonical netlist is not a serialization fixed point")
+		}
+	})
+}

@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/netlist"
+)
+
+// Request-validation bounds. They protect the daemon, not the library: the
+// batch CLIs impose no such limits.
+const (
+	maxNetlistBytes = 1 << 20 // inline netlist body cap
+	maxCells        = 4096    // parsed design size cap
+	maxTracks       = 200
+	minTracks       = 4
+	maxMovesPerCell = 64
+	maxMaxTemps     = 1000
+	maxChains       = 16
+	maxSyncTemps    = 256
+	maxWorkersCfg   = 64
+)
+
+// JobState is a job's position in the lifecycle state machine:
+//
+//	queued ──► running ──► done
+//	   │          │  └────► failed
+//	   └──────────┴───────► canceled
+//
+// done, failed and canceled are terminal.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the wire shape of POST /v1/jobs. Exactly one of Design (a
+// named synthetic benchmark) or Netlist (an inline netlist body) must be set.
+type JobRequest struct {
+	// Design names a built-in benchmark (tiny, s1, cse, ex1, bw, s1a, big529).
+	Design string `json:"design,omitempty"`
+
+	// Netlist is an inline netlist body; Format selects its syntax.
+	Netlist string `json:"netlist,omitempty"`
+
+	// Format is the inline netlist syntax: "net" (default), "blif" or "xnf".
+	Format string `json:"format,omitempty"`
+
+	// Tracks is the architecture's channel capacity (default 38). The array
+	// geometry itself is derived from the design size exactly as the batch
+	// flows do (ArchFor: 8 or 12 module rows at ~55% utilization).
+	Tracks int `json:"tracks,omitempty"`
+
+	// Config tunes the optimizer. Zero values select the library defaults.
+	Config JobConfig `json:"config,omitempty"`
+}
+
+// JobConfig is the JSON-facing subset of core.Config accepted by the service.
+// Workers is deliberately excluded from the cache key: it only affects
+// scheduling, never results.
+type JobConfig struct {
+	Seed          int64 `json:"seed,omitempty"`
+	MovesPerCell  int   `json:"moves_per_cell,omitempty"`
+	MaxTemps      int   `json:"max_temps,omitempty"`
+	Chains        int   `json:"chains,omitempty"`
+	Workers       int   `json:"workers,omitempty"`
+	SyncTemps     int   `json:"sync_temps,omitempty"`
+	RangeLimit    bool  `json:"range_limit,omitempty"`
+	DisableTiming bool  `json:"disable_timing,omitempty"`
+}
+
+// jobSpec is a validated, canonicalized submission: the parsed netlist, its
+// canonical .net serialization, and the deterministic cache key derived from
+// everything that can influence the layout bytes.
+type jobSpec struct {
+	req   JobRequest
+	nl    *netlist.Netlist
+	canon []byte // canonical netlist serialization (WriteNet of the parsed design)
+	key   string // hex sha256 cache key
+}
+
+// parseJobRequest decodes, validates and canonicalizes one submission body.
+func parseJobRequest(body []byte) (*jobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid request JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("invalid request JSON: trailing data after object")
+	}
+	return buildSpec(req)
+}
+
+// buildSpec validates the request and resolves it to a canonical spec.
+func buildSpec(req JobRequest) (*jobSpec, error) {
+	if (req.Design == "") == (req.Netlist == "") {
+		return nil, fmt.Errorf("exactly one of %q or %q must be set", "design", "netlist")
+	}
+	var (
+		nl  *netlist.Netlist
+		err error
+	)
+	switch {
+	case req.Design != "":
+		if req.Format != "" {
+			return nil, fmt.Errorf("%q only applies to inline netlists", "format")
+		}
+		nl, err = exper.Design(req.Design)
+		if err != nil {
+			return nil, fmt.Errorf("unknown design %q", req.Design)
+		}
+	default:
+		if len(req.Netlist) > maxNetlistBytes {
+			return nil, fmt.Errorf("inline netlist too large: %d bytes (max %d)", len(req.Netlist), maxNetlistBytes)
+		}
+		r := strings.NewReader(req.Netlist)
+		switch req.Format {
+		case "", "net":
+			nl, err = netlist.ParseNet(r)
+		case "blif":
+			nl, err = netlist.ParseBlif(r, netlist.DefaultBlifOptions())
+		case "xnf":
+			nl, err = netlist.ParseXnf(r, netlist.DefaultXnfOptions())
+		default:
+			return nil, fmt.Errorf("unknown netlist format %q (want net, blif or xnf)", req.Format)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netlist parse: %w", err)
+		}
+	}
+	if nl.NumCells() == 0 {
+		return nil, fmt.Errorf("netlist has no cells")
+	}
+	if nl.NumCells() > maxCells {
+		return nil, fmt.Errorf("design too large: %d cells (max %d)", nl.NumCells(), maxCells)
+	}
+	if req.Tracks == 0 {
+		req.Tracks = exper.DefaultTracks
+	}
+	if req.Tracks < minTracks || req.Tracks > maxTracks {
+		return nil, fmt.Errorf("tracks %d out of range [%d, %d]", req.Tracks, minTracks, maxTracks)
+	}
+	if err := req.Config.validate(); err != nil {
+		return nil, err
+	}
+
+	var canon bytes.Buffer
+	if err := netlist.WriteNet(&canon, nl); err != nil {
+		return nil, fmt.Errorf("canonicalize netlist: %w", err)
+	}
+	spec := &jobSpec{req: req, nl: nl, canon: canon.Bytes()}
+	spec.key = spec.cacheKey()
+	return spec, nil
+}
+
+func (c *JobConfig) validate() error {
+	check := func(name string, v, max int) error {
+		if v < 0 || v > max {
+			return fmt.Errorf("config.%s %d out of range [0, %d]", name, v, max)
+		}
+		return nil
+	}
+	if c.Seed < 0 {
+		return fmt.Errorf("config.seed must be non-negative")
+	}
+	if err := check("moves_per_cell", c.MovesPerCell, maxMovesPerCell); err != nil {
+		return err
+	}
+	if err := check("max_temps", c.MaxTemps, maxMaxTemps); err != nil {
+		return err
+	}
+	if err := check("chains", c.Chains, maxChains); err != nil {
+		return err
+	}
+	if err := check("workers", c.Workers, maxWorkersCfg); err != nil {
+		return err
+	}
+	return check("sync_temps", c.SyncTemps, maxSyncTemps)
+}
+
+// cacheKey hashes everything that determines the result bytes: the canonical
+// netlist, the architecture parameters, and every result-affecting config
+// field. Two requests with the same key produce bit-identical layouts (the
+// determinism contract pinned by the golden/GOMAXPROCS-invariance tests), so
+// a cache hit can be served without re-annealing. Workers is excluded: it is
+// scheduling-only.
+func (s *jobSpec) cacheKey() string {
+	h := sha256.New()
+	c := s.req.Config
+	fmt.Fprintf(h, "fpgaprd/v1 tracks=%d seed=%d mpc=%d temps=%d chains=%d sync=%d rl=%t dt=%t\n",
+		s.req.Tracks, c.Seed, c.MovesPerCell, c.MaxTemps, c.Chains, c.SyncTemps,
+		c.RangeLimit, c.DisableTiming)
+	h.Write(s.canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// coreConfig maps the validated request onto the optimizer configuration.
+// Cancel and Metrics are attached by the worker at run time.
+func (s *jobSpec) coreConfig() core.Config {
+	c := s.req.Config
+	return core.Config{
+		Seed:          c.Seed,
+		MovesPerCell:  c.MovesPerCell,
+		MaxTemps:      c.MaxTemps,
+		Chains:        c.Chains,
+		Workers:       c.Workers,
+		SyncTemps:     c.SyncTemps,
+		RangeLimit:    c.RangeLimit,
+		DisableTiming: c.DisableTiming,
+	}
+}
+
+// designName is the display name of the submitted design.
+func (s *jobSpec) designName() string {
+	if s.req.Design != "" {
+		return s.req.Design
+	}
+	if s.nl.Name != "" {
+		return s.nl.Name
+	}
+	return "inline"
+}
+
+// JobStats is the quality report of a finished run.
+type JobStats struct {
+	FullyRouted bool    `json:"fully_routed"`
+	Unrouted    int     `json:"unrouted"`
+	GUnrouted   int     `json:"global_unrouted"`
+	WCDPs       float64 `json:"critical_path_ps"`
+	FinalCost   float64 `json:"final_cost"`
+	Temps       int     `json:"temps"`
+	Moves       int     `json:"moves"`
+	Restarts    int     `json:"restarts"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// JobResult is an immutable finished-run artifact: once stored on a job or in
+// the cache it is never mutated, so it may be shared freely across jobs and
+// served concurrently.
+type JobResult struct {
+	Layout []byte // layio serialization of the final layout
+	Stats  JobStats
+}
+
+// Job is one submission moving through the service.
+type Job struct {
+	ID      string
+	Key     string
+	spec    *jobSpec
+	hub     *eventHub
+	cancel  chan struct{}
+	created time.Time
+
+	mu        sync.Mutex
+	state     JobState
+	cancelReq bool
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *JobResult
+	cached    bool
+}
+
+func newJob(id string, spec *jobSpec) *Job {
+	j := &Job{
+		ID:      id,
+		Key:     spec.key,
+		spec:    spec,
+		hub:     newEventHub(),
+		cancel:  make(chan struct{}),
+		created: time.Now(),
+		state:   StateQueued,
+	}
+	j.hub.state(StateQueued)
+	return j
+}
+
+// newCachedJob materializes a cache hit: a job that is born done, carrying the
+// cached result, with no optimizer run behind it.
+func newCachedJob(id string, spec *jobSpec, res *JobResult) *Job {
+	j := &Job{
+		ID:      id,
+		Key:     spec.key,
+		spec:    spec,
+		hub:     newEventHub(),
+		cancel:  make(chan struct{}),
+		created: time.Now(),
+		state:   StateDone,
+		result:  res,
+		cached:  true,
+	}
+	j.finished = j.created
+	j.hub.state(StateDone)
+	j.hub.finish()
+	return j
+}
+
+// beginRunning moves queued → running; it returns false when the job was
+// canceled while waiting in the queue (the worker then skips it).
+func (j *Job) beginRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.hub.state(StateRunning)
+	return true
+}
+
+// finishTerminal moves the job into a terminal state and seals the event
+// stream.
+func (j *Job) finishTerminal(state JobState, res *JobResult, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.hub.state(state)
+	j.hub.finish()
+}
+
+// requestCancel implements DELETE: a queued job is canceled outright, a
+// running job has its cancel channel closed (the optimizer stops at the next
+// temperature boundary or sync barrier), and a terminal job is untouched.
+// It reports whether the request had any effect.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued:
+		j.cancelReq = true
+		close(j.cancel)
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.hub.state(StateCanceled)
+		j.hub.finish()
+		return true
+	case j.state == StateRunning && !j.cancelReq:
+		j.cancelReq = true
+		close(j.cancel)
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelRequested reports whether a cancel has been requested.
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelReq
+}
+
+// Snapshot returns the job's current wire-visible status.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		State:    j.state,
+		Design:   j.spec.designName(),
+		Cells:    j.spec.nl.NumCells(),
+		Nets:     j.spec.nl.NumNets(),
+		Cached:   j.cached,
+		CacheKey: j.Key,
+		Created:  j.created,
+		Error:    j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state == StateRunning {
+		if temp, ok := j.hub.latestTemp(); ok {
+			st.Progress = &JobProgress{
+				Chain: temp.Chain,
+				Step:  temp.Step,
+				Cost:  temp.Cost,
+				D:     temp.D,
+				WCDPs: temp.WCD,
+			}
+		}
+	}
+	if j.state == StateDone && j.result != nil {
+		stats := j.result.Stats
+		st.Result = &stats
+	}
+	return st
+}
+
+// layoutBytes returns the serialized layout of a done job.
+func (j *Job) layoutBytes() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.result == nil {
+		return nil, false
+	}
+	return j.result.Layout, true
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// JobProgress is the live view of a running job, taken from its most recent
+// temperature event.
+type JobProgress struct {
+	Chain int     `json:"chain"`
+	Step  int     `json:"step"`
+	Cost  float64 `json:"cost"`
+	D     int     `json:"unrouted"`
+	WCDPs float64 `json:"critical_path_ps"`
+}
+
+// JobStatus is the wire shape of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	State    JobState     `json:"state"`
+	Design   string       `json:"design"`
+	Cells    int          `json:"cells"`
+	Nets     int          `json:"nets"`
+	Cached   bool         `json:"cached"`
+	CacheKey string       `json:"cache_key"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Progress *JobProgress `json:"progress,omitempty"`
+	Result   *JobStats    `json:"result,omitempty"`
+}
+
+// writeJSON writes v as an indented JSON response body.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeJSONCompact writes v as single-line JSON followed by a newline (the
+// framing SSE data lines need).
+func writeJSONCompact(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,93 @@
+// The execution side of the service: a bounded FIFO queue feeding a fixed
+// worker pool. Submission never blocks — a full queue is reported to the
+// client as backpressure (429 + Retry-After) — and workers drain jobs in
+// arrival order. Each run threads the job's cancel channel and event hub into
+// the optimizer, so DELETE stops a run at the next temperature boundary and
+// subscribers watch per-temperature progress live.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/layio"
+)
+
+// worker is one pool goroutine: it drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through the optimizer and moves it to its
+// terminal state.
+func (s *Server) runJob(j *Job) {
+	if !j.beginRunning() {
+		return // canceled while queued
+	}
+	atomic.AddInt64(&s.runs, 1)
+	start := time.Now()
+	res, layoutText, err := executeJob(j.spec, j.cancel, j.hub)
+	switch {
+	case err != nil:
+		j.finishTerminal(StateFailed, nil, err.Error())
+	case res.Cancelled || j.cancelRequested():
+		j.finishTerminal(StateCanceled, nil, "")
+	default:
+		jr := &JobResult{
+			Layout: layoutText,
+			Stats: JobStats{
+				FullyRouted: res.FullyRouted,
+				Unrouted:    res.D,
+				GUnrouted:   res.G,
+				WCDPs:       res.WCD,
+				FinalCost:   res.FinalCost,
+				Temps:       res.Anneal.Temps,
+				Moves:       res.Anneal.TotalMoves,
+				Restarts:    res.Restarts,
+				WallMS:      float64(time.Since(start)) / float64(time.Millisecond),
+			},
+		}
+		s.cache.put(j.Key, jr)
+		j.finishTerminal(StateDone, jr, "")
+	}
+}
+
+// executeJob builds the architecture and optimizer for a validated spec and
+// runs the simultaneous flow. The cancel channel stops the run at the next
+// temperature boundary / sync barrier; the hub observes every temperature.
+// Cancelled runs skip layout serialization — the partial state is never
+// served.
+func executeJob(spec *jobSpec, cancel <-chan struct{}, hub *eventHub) (core.Result, []byte, error) {
+	a, err := exper.ArchFor(spec.nl, spec.req.Tracks)
+	if err != nil {
+		return core.Result{}, nil, fmt.Errorf("architecture: %w", err)
+	}
+	cfg := spec.coreConfig()
+	cfg.Cancel = cancel
+	cfg.Metrics = hub
+	o, err := core.New(a, spec.nl, cfg)
+	if err != nil {
+		return core.Result{}, nil, fmt.Errorf("optimizer: %w", err)
+	}
+	o, res := o.RunParallel()
+	if res.Cancelled {
+		return res, nil, nil
+	}
+	var buf bytes.Buffer
+	if err := layio.Write(&buf, o.P, o.Rts); err != nil {
+		return core.Result{}, nil, fmt.Errorf("serialize layout: %w", err)
+	}
+	return res, buf.Bytes(), nil
+}

@@ -1,0 +1,384 @@
+// Package server is the fpgaprd place-and-route job service: an HTTP/JSON
+// API over the simultaneous place-and-route optimizer with queueing,
+// cancellation, deterministic result caching and streaming progress.
+//
+//	POST   /v1/jobs             submit a job (named benchmark or inline netlist)
+//	GET    /v1/jobs/{id}        job status (state machine + live progress)
+//	GET    /v1/jobs/{id}/layout finished layout (layio serialization)
+//	GET    /v1/jobs/{id}/events per-temperature progress as Server-Sent Events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness
+//	GET    /statsz              queue/cache/job counters
+//
+// Jobs flow through a bounded FIFO queue into a fixed worker pool; a full
+// queue answers 429 with Retry-After rather than blocking or buffering
+// unboundedly. Results are cached under hash(canonical netlist, arch params,
+// config, seed): the optimizer is bit-exact for that tuple, so a repeat
+// submission returns the identical layout bytes without re-annealing.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent optimizer runs (default 2).
+	Workers int
+	// QueueDepth is the bounded FIFO capacity; submissions beyond it are
+	// rejected with 429 (default 16).
+	QueueDepth int
+	// CacheEntries caps the deterministic result cache (default 128).
+	CacheEntries int
+	// MaxJobs caps retained job records; the oldest terminal jobs are evicted
+	// first (default 512).
+	MaxJobs int
+	// MaxBodyBytes caps the request body (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+}
+
+// Server is the job service. Create with New, serve via Handler, stop with
+// Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+	mux   *http.ServeMux
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	cache *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string // insertion order, for retention eviction
+	nextID   int64
+
+	// Counters (atomic; reported by /statsz).
+	submitted int64
+	rejected  int64
+	cacheHits int64
+	runs      int64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+		queue: make(chan *Job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		cache: newResultCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/layout", s.handleLayout)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool: running jobs are cancelled (they stop at the
+// next temperature boundary) and queued jobs are abandoned in place. It
+// blocks until every worker has exited.
+func (s *Server) Close() {
+	close(s.quit)
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.requestCancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// register stores a new job, evicting the oldest terminal records beyond the
+// retention cap.
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.jobs) >= s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			if old, ok := s.jobs[id]; ok && old.State().Terminal() {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map grow rather than drop state
+		}
+	}
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, jid := range s.jobOrder {
+		if jid == id {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) newJobID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fmt.Sprintf("j%d", s.nextID)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/jobs: decode and validate, serve cache
+// hits instantly, otherwise enqueue with backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+	spec, err := parseJobRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	atomic.AddInt64(&s.submitted, 1)
+
+	if res, ok := s.cache.get(spec.key); ok {
+		atomic.AddInt64(&s.cacheHits, 1)
+		j := newCachedJob(s.newJobID(), spec, res)
+		s.register(j)
+		s.respondJob(w, j, http.StatusOK)
+		return
+	}
+
+	j := newJob(s.newJobID(), spec)
+	s.register(j)
+	select {
+	case s.queue <- j:
+		s.respondJob(w, j, http.StatusAccepted)
+	default:
+		s.unregister(j.ID)
+		atomic.AddInt64(&s.rejected, 1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs); retry later", s.cfg.QueueDepth)
+	}
+}
+
+func (s *Server) respondJob(w http.ResponseWriter, j *Job, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(status)
+	writeJSON(w, j.Snapshot())
+}
+
+// handleStatus implements GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j.Snapshot())
+}
+
+// handleLayout implements GET /v1/jobs/{id}/layout: the layio serialization
+// of a finished layout, loadable by repro.LoadLayout against the same
+// netlist and ArchFor-derived architecture.
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	text, ok := j.layoutBytes()
+	if !ok {
+		httpError(w, http.StatusConflict, "job %s is %s, no layout available", j.ID, j.State())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(text)
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.requestCancel()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j.Snapshot())
+}
+
+// handleEvents implements GET /v1/jobs/{id}/events: the job's full event
+// history replayed, then live events until the job reaches a terminal state
+// (Server-Sent Events; event types state, phase, temp, chain).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	cursor := 0
+	for {
+		evs, sealed, wake := j.hub.next(cursor)
+		for i := range evs {
+			if err := writeSSE(w, &evs[i]); err != nil {
+				return
+			}
+		}
+		cursor += len(evs)
+		fl.Flush()
+		if sealed && len(evs) == 0 {
+			return
+		}
+		if len(evs) > 0 {
+			continue // drain before sleeping
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE writes one event in SSE framing: event type, id, and the JSON
+// payload as data.
+func writeSSE(w io.Writer, ev *Event) error {
+	if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: ", ev.Type, ev.Seq); err != nil {
+		return err
+	}
+	if err := writeJSONCompact(w, ev); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// Stats is the wire shape of GET /statsz.
+type Stats struct {
+	UptimeSec  float64          `json:"uptime_sec"`
+	Workers    int              `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Jobs       map[JobState]int `json:"jobs"`
+	Submitted  int64            `json:"submitted"`
+	Rejected   int64            `json:"rejected"`
+	CacheHits  int64            `json:"cache_hit_responses"`
+	Runs       int64            `json:"optimizer_runs"`
+	Cache      CacheStats       `json:"cache"`
+	Goroutines int              `json:"goroutines"`
+}
+
+// StatsSnapshot returns the current service counters.
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Jobs:       make(map[JobState]int),
+		Submitted:  atomic.LoadInt64(&s.submitted),
+		Rejected:   atomic.LoadInt64(&s.rejected),
+		CacheHits:  atomic.LoadInt64(&s.cacheHits),
+		Runs:       atomic.LoadInt64(&s.runs),
+		Cache:      s.cache.stats(),
+		Goroutines: runtime.NumGoroutine(),
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		st.Jobs[j.State()]++
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// handleStatsz implements GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.StatsSnapshot())
+}
+
+// QueueCap reports the configured queue capacity (for operators and tests).
+func (s *Server) QueueCap() int { return s.cfg.QueueDepth }

@@ -371,14 +371,22 @@ func (l *Layout) WriteSummary(w io.Writer) error {
 		l.Netlist.Name, st.Cells, st.CombCells, st.SeqCells, st.Inputs, st.Outputs, st.Nets); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "array  %d rows x %d cols, %d tracks/channel, %d vtracks/column\n",
-		l.Arch.Rows, l.Arch.Cols, l.Arch.Tracks, l.Arch.VTracks)
-	if l.FullyRouted {
-		fmt.Fprintf(w, "routing 100%% complete\n")
-	} else {
-		fmt.Fprintf(w, "routing INCOMPLETE: %d nets unrouted\n", l.Unrouted)
+	if _, err := fmt.Fprintf(w, "array  %d rows x %d cols, %d tracks/channel, %d vtracks/column\n",
+		l.Arch.Rows, l.Arch.Cols, l.Arch.Tracks, l.Arch.VTracks); err != nil {
+		return err
 	}
-	fmt.Fprintf(w, "worst-case delay %.2f ns\n", l.WCD/1000)
+	if l.FullyRouted {
+		if _, err := fmt.Fprintf(w, "routing 100%% complete\n"); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "routing INCOMPLETE: %d nets unrouted\n", l.Unrouted); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "worst-case delay %.2f ns\n", l.WCD/1000); err != nil {
+		return err
+	}
 	af, segs := 0, 0
 	for i := range l.Routes {
 		af += l.Routes[i].AntifuseCount()
