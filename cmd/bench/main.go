@@ -108,8 +108,8 @@ func run(effortName string, seed int64, designCSV string, tracks, chains, worker
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintf(os.Stderr, "bench: %s done in %.0f ms (cost %.1f, unrouted %d, critical path %.0f ps)\n",
-			row.Design, row.WallMS, row.FinalCost, row.Unrouted, row.WCDPs)
+		fmt.Fprintf(os.Stderr, "bench: %s done in %.0f ms (cost %.1f, unrouted %d, critical path %.0f ps, %.1f allocs/move, %.0f B/move)\n",
+			row.Design, row.WallMS, row.FinalCost, row.Unrouted, row.WCDPs, row.AllocsPerMove, row.BytesPerMove)
 		rep.Rows = append(rep.Rows, row)
 	}
 	if trace != nil {

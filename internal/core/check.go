@@ -19,6 +19,9 @@ func (o *Optimizer) Check() error {
 	if err := o.P.Validate(); err != nil {
 		return err
 	}
+	if err := o.P.ValidateNetBoxes(); err != nil {
+		return err
+	}
 	if err := o.F.CheckConsistent(o.Rts); err != nil {
 		return err
 	}

@@ -264,6 +264,13 @@ func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 
 		netStamp:  make([]uint32, nl.NumNets()),
 		cellStamp: make([]uint32, nl.NumCells()),
+
+		// Pre-sized move scratch: a move can journal and re-attempt every
+		// net, so sizing for the worst case up front keeps the steady-state
+		// move path at zero allocations (asserted by TestMoveAllocFree).
+		journal:  make([]jEntry, 0, nl.NumNets()),
+		worklist: make([]int32, 0, nl.NumNets()),
+		estLen:   make([]float64, nl.NumNets()),
 	}
 	o.window = maxInt(a.Rows, a.Cols)
 

@@ -60,6 +60,20 @@ func FuzzCloneEquivalence(f *testing.F) {
 		if got, want := c.Cost(), o.Cost(); got != want {
 			t.Fatalf("clone cost %v != original %v before any move", got, want)
 		}
+		// The incremental bounding-box cache must be deep-copied: the clone
+		// serves the same boxes as the original, and both caches must agree
+		// with a from-scratch recompute.
+		for id := int32(0); id < int32(nl.NumNets()); id++ {
+			if ob, cb := o.P.NetBox(id), c.P.NetBox(id); ob != cb {
+				t.Fatalf("net %d: clone box %+v != original %+v", id, cb, ob)
+			}
+		}
+		if err := o.P.ValidateNetBoxes(); err != nil {
+			t.Fatalf("original after warm-up: %v", err)
+		}
+		if err := c.P.ValidateNetBoxes(); err != nil {
+			t.Fatalf("clone after copy: %v", err)
+		}
 
 		n := int(moves)%300 + 1
 		r1 := rand.New(rand.NewSource(seed * 31))

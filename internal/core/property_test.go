@@ -101,6 +101,14 @@ func TestIncrementalStateAgreesWithRecompute(t *testing.T) {
 func verifyAgainstRecompute(t *testing.T, o *Optimizer, seed int64, chk int) {
 	t.Helper()
 
+	// Bounding-box cache: every cached span must equal a from-scratch pin
+	// scan after any mixture of accepted and rejected moves (rejections roll
+	// back via Swap/SetPinmap, so they exercise the invalidation paths too).
+	if err := o.P.ValidateNetBoxes(); err != nil {
+		t.Errorf("seed %d check %d: %v", seed, chk, err)
+		return
+	}
+
 	// Route counters: recountGD rebuilds g/d/dc by scanning every route.
 	g, d, dc := o.g, o.d, o.dc
 	o.recountGD()

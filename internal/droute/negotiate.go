@@ -3,7 +3,9 @@ package droute
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/fabric"
 )
@@ -21,6 +23,12 @@ type NegotiateConfig struct {
 	PresentGrow  float64 // multiplicative growth per iteration (default 1.6)
 	HistoryDelta float64 // history added to each over-subscribed segment per iteration (default 1.0)
 	Seed         int64   // seed for the ordered-router fallback on non-convergent instances
+
+	// Workers caps how many channels are negotiated concurrently
+	// (0 = GOMAXPROCS). Scheduling only: results are identical for every
+	// worker count because channels share no horizontal resources — each is
+	// negotiated independently and committed in fixed channel order.
+	Workers int
 }
 
 func (c *NegotiateConfig) setDefaults() {
@@ -36,30 +44,43 @@ func (c *NegotiateConfig) setDefaults() {
 	if c.HistoryDelta <= 0 {
 		c.HistoryDelta = 1.0
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
+
+// negItem identifies one unrouted channel need during negotiation.
+type negItem struct {
+	net int32
+	ci  int
+}
+
+// negChoice is an item's current (track, segLo, segHi); track == -1 when
+// nothing is feasible.
+type negChoice struct{ track, segLo, segHi int }
 
 // RouteAllNegotiated detail-routes every unrouted channel need of the
 // globally routed nets using congestion negotiation, then commits the final
 // conflict-free assignments into f. Channel needs that still conflict after
 // MaxIters (the loser keeps Track == -1) or that fit no track at all are
 // counted in the returned failure total.
+//
+// Horizontal segments never span channels, so the negotiation decomposes
+// exactly by channel: each channel's needs are negotiated independently (its
+// own occupancy, history and present-cost schedule) on a bounded worker pool
+// and the results are committed serially in ascending channel order. The
+// outcome is bit-identical for every Workers value and GOMAXPROCS setting.
 func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, cfg NegotiateConfig) int {
 	cfg.setDefaults()
-	a := f.A
 
-	// Work items: one per unrouted channel need.
-	type item struct {
-		net int32
-		ci  int
-	}
-	var items []item
+	var items []negItem
 	for id := range routes {
 		if !routes[id].Global {
 			continue
 		}
 		for ci := range routes[id].Chans {
 			if !routes[id].Chans[ci].Routed() {
-				items = append(items, item{int32(id), ci})
+				items = append(items, negItem{int32(id), ci})
 			}
 		}
 	}
@@ -69,14 +90,18 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 	// One attempt per channel need; the salvage RouteChan calls at commit
 	// count their own attempts on top, as genuinely separate tries.
 	f.Stats.DRouteAttempts += int64(len(items))
-	// Longest intervals first: they have the fewest alternatives, so they
-	// should claim resources first both during negotiation and at commit.
-	// The (net, ci) tiebreak makes the ordering a total one — a net with two
-	// equal-length intervals in different channels would otherwise land in
-	// sort-instability-dependent order.
+	// Ascending channel first (grouping the per-channel subproblems), then
+	// longest intervals first within a channel: they have the fewest
+	// alternatives, so they should claim resources first both during
+	// negotiation and at commit. The (net, ci) tiebreak makes the ordering a
+	// total one — a net with two equal-length intervals in different channels
+	// would otherwise land in sort-instability-dependent order.
 	sort.Slice(items, func(i, j int) bool {
 		a1 := &routes[items[i].net].Chans[items[i].ci]
 		a2 := &routes[items[j].net].Chans[items[j].ci]
+		if a1.Ch != a2.Ch {
+			return a1.Ch < a2.Ch
+		}
 		l1, l2 := a1.Hi-a1.Lo, a2.Hi-a2.Lo
 		if l1 != l2 {
 			return l1 > l2
@@ -87,103 +112,50 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 		return items[i].ci < items[j].ci
 	})
 
-	// Shared occupancy and history, mirroring the fabric's H segments but
-	// permitting over-subscription during negotiation. Segments already owned
-	// in the fabric (pre-routed nets) are permanently blocked.
-	occ := make([][][]int16, a.Channels())
-	hist := make([][][]float64, a.Channels())
-	blocked := make([][][]bool, a.Channels())
-	for ch := 0; ch < a.Channels(); ch++ {
-		occ[ch] = make([][]int16, a.Tracks)
-		hist[ch] = make([][]float64, a.Tracks)
-		blocked[ch] = make([][]bool, a.Tracks)
-		for t := 0; t < a.Tracks; t++ {
-			n := len(a.Seg[t])
-			occ[ch][t] = make([]int16, n)
-			hist[ch][t] = make([]float64, n)
-			blocked[ch][t] = make([]bool, n)
-			for s := 0; s < n; s++ {
-				blocked[ch][t][s] = f.HOwner(ch, t, s) != fabric.Free
-			}
+	// Contiguous per-channel groups of the sorted item list.
+	type group struct{ lo, hi int }
+	var groups []group
+	for lo := 0; lo < len(items); {
+		ch := routes[items[lo].net].Chans[items[lo].ci].Ch
+		hi := lo + 1
+		for hi < len(items) && routes[items[hi].net].Chans[items[hi].ci].Ch == ch {
+			hi++
 		}
+		groups = append(groups, group{lo, hi})
+		lo = hi
 	}
 
-	// choice[i] is item i's current (track, segLo, segHi), track == -1 if
-	// nothing feasible.
-	type choice struct{ track, segLo, segHi int }
-	choices := make([]choice, len(items))
-	for i := range choices {
-		choices[i].track = -1
+	// Negotiate each channel independently. Workers write disjoint choices
+	// ranges and only read f (no fabric mutation happens until commit), so the
+	// pool is race-free; per-group results do not depend on scheduling.
+	choices := make([]negChoice, len(items))
+	if workers := min(cfg.Workers, len(groups)); workers <= 1 {
+		for _, g := range groups {
+			negotiateChannel(f, routes, base, cfg, items[g.lo:g.hi], choices[g.lo:g.hi])
+		}
+	} else {
+		work := make(chan group)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range work {
+					negotiateChannel(f, routes, base, cfg, items[g.lo:g.hi], choices[g.lo:g.hi])
+				}
+			}()
+		}
+		for _, g := range groups {
+			work <- g
+		}
+		close(work)
+		wg.Wait()
 	}
 
-	pres := cfg.PresentBase
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		// Rip everything (occupancy only) and re-route in index order.
-		for ch := range occ {
-			for t := range occ[ch] {
-				for s := range occ[ch][t] {
-					occ[ch][t][s] = 0
-				}
-			}
-		}
-		for i, it := range items {
-			ca := &routes[it.net].Chans[it.ci]
-			best := math.Inf(1)
-			bt := -1
-			var bl, bh int
-			for t := 0; t < a.Tracks; t++ {
-				sl, sh := a.SegRange(t, ca.Lo, ca.Hi)
-				cost := 0.0
-				feasible := true
-				for s := sl; s <= sh; s++ {
-					if blocked[ca.Ch][t][s] {
-						feasible = false
-						break
-					}
-					share := float64(occ[ca.Ch][t][s])
-					cost += (1 + hist[ca.Ch][t][s]) * (1 + pres*share)
-				}
-				if !feasible {
-					continue
-				}
-				segs := a.Seg[t]
-				waste := float64((segs[sh].End - segs[sl].Start) - (ca.Hi - ca.Lo + 1))
-				cost += base.WWaste*waste + base.WSegs*float64(sh-sl+1)
-				if cost < best {
-					best, bt, bl, bh = cost, t, sl, sh
-				}
-			}
-			choices[i] = choice{bt, bl, bh}
-			if bt >= 0 {
-				for s := bl; s <= bh; s++ {
-					occ[ca.Ch][bt][s]++
-				}
-			}
-		}
-		// Check for over-subscription; accrue history on contended segments.
-		clean := true
-		for i, it := range items {
-			c := choices[i]
-			if c.track < 0 {
-				continue
-			}
-			ch := routes[it.net].Chans[it.ci].Ch
-			for s := c.segLo; s <= c.segHi; s++ {
-				if occ[ch][c.track][s] > 1 {
-					clean = false
-					hist[ch][c.track][s] += cfg.HistoryDelta
-				}
-			}
-		}
-		if clean {
-			break
-		}
-		pres *= cfg.PresentGrow
-	}
-
-	// Commit: first-come wins on residual conflicts, and conflict losers get
-	// a salvage attempt on whatever capacity remains (matters only when the
-	// instance is infeasible and negotiation could not converge).
+	// Commit serially in item (= ascending channel) order: first-come wins on
+	// residual conflicts, and conflict losers get a salvage attempt on
+	// whatever capacity remains (matters only when the instance is infeasible
+	// and negotiation could not converge).
 	commit := func() int {
 		failed := 0
 		for i, it := range items {
@@ -222,4 +194,97 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 	}
 	ripItems()
 	return commit()
+}
+
+// negotiateChannel runs the present/history negotiation loop for the needs of
+// one channel (items, all sharing the same Ch), writing each item's final
+// track selection into choices. It reads the fabric's current H ownership
+// (pre-routed nets block their segments permanently) but never mutates f —
+// commitment happens later, serially. The present-cost escalation and the
+// convergence check are local to the channel: a hard-to-untangle channel no
+// longer inflates the sharing penalty for channels that converged early.
+func negotiateChannel(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, cfg NegotiateConfig, items []negItem, choices []negChoice) {
+	a := f.A
+	ch := routes[items[0].net].Chans[items[0].ci].Ch
+
+	// Occupancy and history over this channel's tracks, permitting
+	// over-subscription during negotiation; segments already owned in the
+	// fabric are permanently blocked.
+	occ := make([][]int16, a.Tracks)
+	hist := make([][]float64, a.Tracks)
+	blocked := make([][]bool, a.Tracks)
+	for t := 0; t < a.Tracks; t++ {
+		n := len(a.Seg[t])
+		occ[t] = make([]int16, n)
+		hist[t] = make([]float64, n)
+		blocked[t] = make([]bool, n)
+		for s := 0; s < n; s++ {
+			blocked[t][s] = f.HOwner(ch, t, s) != fabric.Free
+		}
+	}
+	for i := range choices {
+		choices[i].track = -1
+	}
+
+	pres := cfg.PresentBase
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Rip everything (occupancy only) and re-route in index order.
+		for t := range occ {
+			for s := range occ[t] {
+				occ[t][s] = 0
+			}
+		}
+		for i, it := range items {
+			ca := &routes[it.net].Chans[it.ci]
+			best := math.Inf(1)
+			bt := -1
+			var bl, bh int
+			for t := 0; t < a.Tracks; t++ {
+				sl, sh := a.SegRange(t, ca.Lo, ca.Hi)
+				cost := 0.0
+				feasible := true
+				for s := sl; s <= sh; s++ {
+					if blocked[t][s] {
+						feasible = false
+						break
+					}
+					share := float64(occ[t][s])
+					cost += (1 + hist[t][s]) * (1 + pres*share)
+				}
+				if !feasible {
+					continue
+				}
+				segs := a.Seg[t]
+				waste := float64((segs[sh].End - segs[sl].Start) - (ca.Hi - ca.Lo + 1))
+				cost += base.WWaste*waste + base.WSegs*float64(sh-sl+1)
+				if cost < best {
+					best, bt, bl, bh = cost, t, sl, sh
+				}
+			}
+			choices[i] = negChoice{bt, bl, bh}
+			if bt >= 0 {
+				for s := bl; s <= bh; s++ {
+					occ[bt][s]++
+				}
+			}
+		}
+		// Check for over-subscription; accrue history on contended segments.
+		clean := true
+		for i := range items {
+			c := choices[i]
+			if c.track < 0 {
+				continue
+			}
+			for s := c.segLo; s <= c.segHi; s++ {
+				if occ[c.track][s] > 1 {
+					clean = false
+					hist[c.track][s] += cfg.HistoryDelta
+				}
+			}
+		}
+		if clean {
+			return
+		}
+		pres *= cfg.PresentGrow
+	}
 }

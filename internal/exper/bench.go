@@ -1,11 +1,15 @@
 package exper
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -43,9 +47,21 @@ type BenchRow struct {
 	Accepted    int     `json:"accepted"`
 	Restarts    int     `json:"restarts"` // elite-migration restarts (parallel runs)
 
-	// Machine-dependent fields; excluded from quality comparisons.
+	// LayoutHash fingerprints the final placement, pinmaps and routes; like
+	// the quality fields it is bit-identical for a fixed configuration, so
+	// the compare gate can prove a perf change did not alter results. Empty
+	// in reports predating the field.
+	LayoutHash string `json:"layout_hash,omitempty"`
+
+	// Machine-dependent fields; excluded from exact quality comparisons.
+	// The alloc counters are heap activity over the whole run divided by
+	// total moves — near-deterministic for a fixed configuration (the
+	// workload is), with only minor runtime-internal noise, so the compare
+	// gate bounds them with a tolerance rather than requiring equality.
 	WallMS          float64 `json:"wall_ms"`
 	PeakMovesPerSec float64 `json:"peak_moves_per_sec"`
+	AllocsPerMove   float64 `json:"allocs_per_move"`
+	BytesPerMove    float64 `json:"bytes_per_move"`
 }
 
 // RunBenchmark executes the simultaneous flow on one named design and reports
@@ -62,9 +78,16 @@ func RunBenchmark(design string, e Effort, seed int64, tracks int) (BenchRow, er
 	}
 	sum := metrics.NewSummary()
 	e.Metrics = metrics.Multi(e.Metrics, sum)
-	_, res, dur, err := RunSim(a, nl, e, seed, false)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	opt, res, dur, err := RunSim(a, nl, e, seed, false)
+	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return BenchRow{}, err
+	}
+	moves := res.Anneal.TotalMoves + res.RepairMoves
+	if moves < 1 {
+		moves = 1
 	}
 	return BenchRow{
 		Design:          design,
@@ -79,9 +102,31 @@ func RunBenchmark(design string, e Effort, seed int64, tracks int) (BenchRow, er
 		Moves:           res.Anneal.TotalMoves,
 		Accepted:        res.Anneal.Accepted,
 		Restarts:        res.Restarts,
+		LayoutHash:      LayoutHash(opt),
 		WallMS:          float64(dur) / float64(time.Millisecond),
 		PeakMovesPerSec: sum.PeakMovesPerSec(),
+		AllocsPerMove:   float64(m1.Mallocs-m0.Mallocs) / float64(moves),
+		BytesPerMove:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(moves),
 	}, nil
+}
+
+// LayoutHash returns a SHA-256 fingerprint of the optimizer's final layout:
+// every cell's slot and pinmap plus every net's complete route descriptor.
+// Two runs with the same configuration produce the same hash on any machine;
+// a perf-only change that alters the hash has changed results.
+func LayoutHash(o *core.Optimizer) string {
+	h := sha256.New()
+	for id, loc := range o.P.Loc {
+		fmt.Fprintf(h, "c%d:%d,%d,%d;", id, loc.Row, loc.Col, o.P.Pm[id])
+	}
+	for id := range o.Rts {
+		r := &o.Rts[id]
+		fmt.Fprintf(h, "n%d:%v,%v,%d,%d,%d,%d|", id, r.Global, r.HasTrunk, r.TrunkCol, r.TrunkTrack, r.VLo, r.VHi)
+		for _, ca := range r.Chans {
+			fmt.Fprintf(h, "%d,%d,%d,%d,%d,%d;", ca.Ch, ca.Lo, ca.Hi, ca.Track, ca.SegLo, ca.SegHi)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // BenchDesigns is the default benchmark suite for cmd/bench: the test-sized
@@ -121,12 +166,23 @@ type CompareOptions struct {
 	// WallSlackMS is an absolute grace on top of WallTol, so sub-second
 	// benchmarks on differently loaded machines do not flake the gate.
 	WallSlackMS float64
+	// AllocTol is the allowed relative allocs/move and bytes/move regression.
+	// The counters are near-deterministic, so the tolerance only absorbs
+	// runtime-internal noise, not real regressions.
+	AllocTol float64
+	// AllocSlack / BytesSlack are the absolute graces on top of AllocTol
+	// (allocs per move, bytes per move), keeping near-zero baselines from
+	// flaking the gate on sub-allocation noise.
+	AllocSlack float64
+	BytesSlack float64
 }
 
 // DefaultCompareOptions returns the CI gate settings: fail on >25% wall-time
-// regression (plus 250 ms absolute slack) or on any quality worsening.
+// regression (plus 250 ms absolute slack), >25% allocs/bytes-per-move
+// regression (plus small absolute slack), any quality worsening, or a layout
+// hash mismatch.
 func DefaultCompareOptions() CompareOptions {
-	return CompareOptions{WallTol: 0.25, WallSlackMS: 250}
+	return CompareOptions{WallTol: 0.25, WallSlackMS: 250, AllocTol: 0.25, AllocSlack: 2, BytesSlack: 256}
 }
 
 // CompareBenchReports checks cur against base and returns one message per
@@ -161,9 +217,27 @@ func CompareBenchReports(base, cur *BenchReport, opt CompareOptions) ([]string, 
 			regressions = append(regressions,
 				fmt.Sprintf("%s: critical path %.1f ps -> %.1f ps", c.Design, b.WCDPs, c.WCDPs))
 		}
+		if b.LayoutHash != "" && c.LayoutHash != "" && b.LayoutHash != c.LayoutHash {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: layout hash changed (%.12s... -> %.12s...)", c.Design, b.LayoutHash, c.LayoutHash))
+		}
 		if limit := b.WallMS*(1+opt.WallTol) + opt.WallSlackMS; c.WallMS > limit {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: wall time %.0f ms -> %.0f ms (limit %.0f ms)", c.Design, b.WallMS, c.WallMS, limit))
+		}
+		// Alloc gates only arm once the baseline carries the counters
+		// (reports predating the fields decode them as zero).
+		if b.AllocsPerMove > 0 {
+			if limit := b.AllocsPerMove*(1+opt.AllocTol) + opt.AllocSlack; c.AllocsPerMove > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: allocs/move %.2f -> %.2f (limit %.2f)", c.Design, b.AllocsPerMove, c.AllocsPerMove, limit))
+			}
+		}
+		if b.BytesPerMove > 0 {
+			if limit := b.BytesPerMove*(1+opt.AllocTol) + opt.BytesSlack; c.BytesPerMove > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: bytes/move %.0f -> %.0f (limit %.0f)", c.Design, b.BytesPerMove, c.BytesPerMove, limit))
+			}
 		}
 	}
 	for _, b := range base.Rows {

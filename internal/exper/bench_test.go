@@ -27,7 +27,9 @@ func goldenReport() *BenchReport {
 			FullyRouted: true, Unrouted: 0, GUnrouted: 0,
 			WCDPs: 1234.5, FinalCost: 6.789,
 			Temps: 50, Moves: 9000, Accepted: 4000, Restarts: 0,
-			WallMS: 125.25, PeakMovesPerSec: 72000,
+			LayoutHash: "deadbeef00112233445566778899aabbccddeeff00112233445566778899aabb",
+			WallMS:     125.25, PeakMovesPerSec: 72000,
+			AllocsPerMove: 1.25, BytesPerMove: 96.5,
 		}},
 	}
 }
@@ -103,6 +105,61 @@ func TestCompareBenchReports(t *testing.T) {
 		}
 	})
 
+	t.Run("layout hash mismatch flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].LayoutHash = "0000000000112233445566778899aabbccddeeff00112233445566778899aabb"
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "layout hash") {
+			t.Errorf("got %v, want one layout-hash regression", regs)
+		}
+	})
+
+	t.Run("missing hash on either side is not gated", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].LayoutHash = ""
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions against a hashless report", regs, err)
+		}
+	})
+
+	t.Run("alloc regressions flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].AllocsPerMove = base.Rows[0].AllocsPerMove*1.25 + 3
+		cur.Rows[0].BytesPerMove = base.Rows[0].BytesPerMove*1.25 + 257
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 2 {
+			t.Errorf("got %d regressions (%v), want 2 (allocs/move and bytes/move)", len(regs), regs)
+		}
+	})
+
+	t.Run("alloc growth within tolerance passes", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].AllocsPerMove = base.Rows[0].AllocsPerMove*1.2 + 1
+		cur.Rows[0].BytesPerMove = base.Rows[0].BytesPerMove*1.2 + 100
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("zero-alloc baseline does not arm alloc gate", func(t *testing.T) {
+		b0 := goldenReport()
+		b0.Rows[0].AllocsPerMove, b0.Rows[0].BytesPerMove = 0, 0
+		cur := goldenReport()
+		cur.Rows[0].AllocsPerMove, cur.Rows[0].BytesPerMove = 50, 5000
+		regs, err := CompareBenchReports(b0, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions against a pre-counter baseline", regs, err)
+		}
+	})
+
 	t.Run("missing benchmark flagged", func(t *testing.T) {
 		cur := goldenReport()
 		cur.Rows = nil
@@ -137,9 +194,12 @@ func TestRunBenchmarkDeterministicQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Strip the machine-dependent fields, then require exact equality.
+	// Strip the machine-dependent fields, then require exact equality — note
+	// LayoutHash stays in the comparison: it must be bit-identical per seed.
 	r1.WallMS, r2.WallMS = 0, 0
 	r1.PeakMovesPerSec, r2.PeakMovesPerSec = 0, 0
+	r1.AllocsPerMove, r2.AllocsPerMove = 0, 0
+	r1.BytesPerMove, r2.BytesPerMove = 0, 0
 	if r1 != r2 {
 		t.Errorf("same-seed benchmark rows differ:\n%+v\n%+v", r1, r2)
 	}

@@ -24,30 +24,39 @@ func Needs(p *layout.Placement, id int32) []fabric.ChanAssign {
 
 // appendNeeds appends the channel needs to dst (reusing its storage) and
 // returns it sorted by channel. Nets touch at most a handful of channels, so
-// linear insertion beats any map.
+// linear insertion into channel order beats any map or sort — and, unlike
+// sort.Slice, allocates nothing, which matters because this runs on every
+// rip-up/re-route of the annealer's inner loop. Channels are unique keys, so
+// the result is identical to the historical append-then-sort.
 func appendNeeds(dst []fabric.ChanAssign, p *layout.Placement, id int32) []fabric.ChanAssign {
 	n := &p.NL.Nets[id]
-	add := func(ch, col int) {
-		for i := range dst {
-			if dst[i].Ch == ch {
-				if col < dst[i].Lo {
-					dst[i].Lo = col
-				}
-				if col > dst[i].Hi {
-					dst[i].Hi = col
-				}
-				return
-			}
-		}
-		dst = append(dst, fabric.ChanAssign{Ch: ch, Lo: col, Hi: col, Track: -1})
-	}
 	ch, col := p.PinPos(n.Driver)
-	add(ch, col)
+	dst = insertNeed(dst, ch, col)
 	for _, s := range n.Sinks {
 		ch, col = p.PinPos(s)
-		add(ch, col)
+		dst = insertNeed(dst, ch, col)
 	}
-	sort.Slice(dst, func(i, j int) bool { return dst[i].Ch < dst[j].Ch })
+	return dst
+}
+
+// insertNeed merges pin position (ch, col) into the channel-sorted needs list.
+func insertNeed(dst []fabric.ChanAssign, ch, col int) []fabric.ChanAssign {
+	i := 0
+	for i < len(dst) && dst[i].Ch < ch {
+		i++
+	}
+	if i < len(dst) && dst[i].Ch == ch {
+		if col < dst[i].Lo {
+			dst[i].Lo = col
+		}
+		if col > dst[i].Hi {
+			dst[i].Hi = col
+		}
+		return dst
+	}
+	dst = append(dst, fabric.ChanAssign{})
+	copy(dst[i+1:], dst[i:])
+	dst[i] = fabric.ChanAssign{Ch: ch, Lo: col, Hi: col, Track: -1}
 	return dst
 }
 
@@ -66,8 +75,11 @@ func Route(f *fabric.Fabric, p *layout.Placement, id int32, r *fabric.NetRoute) 
 	}
 	chans := appendNeeds(r.Chans[:0], p, id)
 	r.Chans = chans[:0] // reclaim storage; refilled below on success
-	chLo := chans[0].Ch
-	chHi := chans[len(chans)-1].Ch
+	// The cached bounding box covers the same pins appendNeeds just visited:
+	// its channel span matches chans' first/last entries and its column span is
+	// the union of their intervals, so it substitutes exactly for a rescan.
+	box := p.NetBox(id)
+	chLo, chHi := box.ChLo, box.ChHi
 	if chLo == chHi {
 		r.Global = true
 		r.Chans = append(r.Chans[:0], chans...)
@@ -78,16 +90,7 @@ func Route(f *fabric.Fabric, p *layout.Placement, id int32, r *fabric.NetRoute) 
 	// columns by increasing distance from the bounding-box center.
 	a := f.A
 	vLo, vHi := a.VSegRange(chLo, chHi)
-	colLo, colHi := chans[0].Lo, chans[0].Hi
-	for _, c := range chans[1:] {
-		if c.Lo < colLo {
-			colLo = c.Lo
-		}
-		if c.Hi > colHi {
-			colHi = c.Hi
-		}
-	}
-	center := (colLo + colHi) / 2
+	center := (box.ColLo + box.ColHi) / 2
 	for d := 0; d < a.Cols; d++ {
 		cand := [2]int{center - d, center + d}
 		ncand := 2

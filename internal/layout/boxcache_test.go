@@ -1,0 +1,91 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNetBoxCacheExactUnderRandomMutation is the exactness property of the
+// incremental bounding-box cache: after any interleaving of Swap and
+// SetPinmap calls (with NetBox reads filling the cache between them), every
+// cached span must equal a from-scratch pin scan. This is what lets the
+// routers and the timing estimator trust NetBox without rescanning pins.
+func TestNetBoxCacheExactUnderRandomMutation(t *testing.T) {
+	a, nl := testSetup(t)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewRandom(a, nl, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				la := Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)}
+				lb := Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)}
+				p.Swap(la, lb)
+			case 1:
+				p.SetPinmap(int32(rng.Intn(nl.NumCells())), uint8(rng.Intn(4)))
+			case 2:
+				// Fill some cache entries so later mutations must invalidate
+				// populated state, not just recompute misses.
+				for i := 0; i < 3; i++ {
+					p.NetBox(int32(rng.Intn(nl.NumNets())))
+				}
+			}
+			if step%37 == 0 {
+				if err := p.ValidateNetBoxes(); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+		}
+		if err := p.ValidateNetBoxes(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		// Cached and uncached reads must agree for every net.
+		for id := int32(0); id < int32(nl.NumNets()); id++ {
+			if got, want := p.NetBox(id), p.computeNetBox(id); got != want {
+				t.Fatalf("seed %d net %d: NetBox %+v, recompute %+v", seed, id, got, want)
+			}
+		}
+	}
+}
+
+// TestNetBoxCacheCloneDeepCopy pins that Clone deep-copies the cache:
+// mutations on either side must not leak into the other's cached spans.
+func TestNetBoxCacheCloneDeepCopy(t *testing.T) {
+	a, nl := testSetup(t)
+	p, err := NewRandom(a, nl, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int32(0); id < int32(nl.NumNets()); id++ {
+		p.NetBox(id) // populate the cache before cloning
+	}
+	q := p.Clone()
+	for id := int32(0); id < int32(nl.NumNets()); id++ {
+		if pb, qb := p.NetBox(id), q.NetBox(id); pb != qb {
+			t.Fatalf("net %d: clone box %+v != original %+v", id, qb, pb)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		p.Swap(Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)},
+			Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)})
+		p.NetBox(int32(rng.Intn(nl.NumNets())))
+	}
+	if err := q.ValidateNetBoxes(); err != nil {
+		t.Fatalf("mutating the original corrupted the clone's cache: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		q.Swap(Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)},
+			Loc{Row: rng.Intn(a.Rows), Col: rng.Intn(a.Cols)})
+		q.NetBox(int32(rng.Intn(nl.NumNets())))
+	}
+	if err := p.ValidateNetBoxes(); err != nil {
+		t.Fatalf("mutating the clone corrupted the original's cache: %v", err)
+	}
+	if err := q.ValidateNetBoxes(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,15 @@ type Placement struct {
 	Pm   []uint8   // per cell: pinmap variant index
 
 	pinmapCache map[int][]arch.Pinmap // palette keyed by input count
+
+	// Incremental bounding-box cache: boxCache[id] holds the net's current
+	// channel/column span when boxOK[id] is set. Entries are invalidated at
+	// the mutation sites themselves (Swap, SetPinmap) for every net touching
+	// a moved cell, so the cache is exact by construction — including across
+	// move rollbacks, which are just another Swap/SetPinmap. NetBox fills
+	// entries lazily on first read.
+	boxCache []NetBox
+	boxOK    []bool
 }
 
 // NewRandom places all cells into random distinct slots with pinmap variant 0.
@@ -43,6 +52,8 @@ func NewRandom(a *arch.Arch, nl *netlist.Netlist, rng *rand.Rand) (*Placement, e
 		Loc:         make([]Loc, n),
 		Pm:          make([]uint8, n),
 		pinmapCache: make(map[int][]arch.Pinmap),
+		boxCache:    make([]NetBox, nl.NumNets()),
+		boxOK:       make([]bool, nl.NumNets()),
 	}
 	p.Slot = make([][]int32, a.Rows)
 	for r := range p.Slot {
@@ -72,6 +83,8 @@ func (p *Placement) Clone() *Placement {
 		Loc:         append([]Loc(nil), p.Loc...),
 		Pm:          append([]uint8(nil), p.Pm...),
 		pinmapCache: p.pinmapCache, // complete and read-only after prefill
+		boxCache:    append([]NetBox(nil), p.boxCache...),
+		boxOK:       append([]bool(nil), p.boxOK...),
 	}
 	q.Slot = make([][]int32, len(p.Slot))
 	for r := range p.Slot {
@@ -103,19 +116,44 @@ func (p *Placement) prefillPinmaps() {
 func (p *Placement) CellAt(row, col int) int32 { return p.Slot[row][col] }
 
 // Swap exchanges the contents of two slots; either (or both) may be empty.
+// The bounding boxes of every net touching a moved cell are invalidated, so
+// the cache stays exact whether the swap is a tentative move or its rollback.
 func (p *Placement) Swap(a, b Loc) {
 	ca, cb := p.Slot[a.Row][a.Col], p.Slot[b.Row][b.Col]
 	p.Slot[a.Row][a.Col], p.Slot[b.Row][b.Col] = cb, ca
 	if ca >= 0 {
 		p.Loc[ca] = b
+		p.invalidateCellBoxes(ca)
 	}
 	if cb >= 0 {
 		p.Loc[cb] = a
+		p.invalidateCellBoxes(cb)
 	}
 }
 
-// SetPinmap selects pinmap variant v for the cell.
-func (p *Placement) SetPinmap(cell int32, v uint8) { p.Pm[cell] = v }
+// SetPinmap selects pinmap variant v for the cell. Pinmaps choose which
+// channel each pin taps, so the cell's nets lose their cached boxes.
+func (p *Placement) SetPinmap(cell int32, v uint8) {
+	p.Pm[cell] = v
+	p.invalidateCellBoxes(cell)
+}
+
+// invalidateCellBoxes drops the cached bounding box of every net attached to
+// the cell.
+func (p *Placement) invalidateCellBoxes(cell int32) {
+	if p.boxOK == nil {
+		return
+	}
+	c := &p.NL.Cells[cell]
+	if c.Out >= 0 {
+		p.boxOK[c.Out] = false
+	}
+	for _, in := range c.In {
+		if in >= 0 {
+			p.boxOK[in] = false
+		}
+	}
+}
 
 // Pinmap returns the cell's current pinmap.
 func (p *Placement) Pinmap(cell int32) arch.Pinmap {
@@ -147,8 +185,25 @@ type NetBox struct {
 	ColLo, ColHi int
 }
 
-// NetBox computes the bounding box over all pin positions of the net.
+// NetBox returns the bounding box over all pin positions of the net, serving
+// it from the incremental cache when the net's pins have not moved since the
+// last computation. This is the hot lookup behind EstLength (the per-move
+// worklist ordering), the global router's trunk-column selection, and the
+// timing estimator.
 func (p *Placement) NetBox(netID int32) NetBox {
+	if p.boxOK != nil && p.boxOK[netID] {
+		return p.boxCache[netID]
+	}
+	box := p.computeNetBox(netID)
+	if p.boxOK != nil {
+		p.boxCache[netID] = box
+		p.boxOK[netID] = true
+	}
+	return box
+}
+
+// computeNetBox derives the bounding box from scratch by scanning every pin.
+func (p *Placement) computeNetBox(netID int32) NetBox {
 	n := &p.NL.Nets[netID]
 	ch, col := p.PinPos(n.Driver)
 	box := NetBox{ChLo: ch, ChHi: ch, ColLo: col, ColHi: col}
@@ -177,6 +232,24 @@ func (p *Placement) NetBox(netID int32) NetBox {
 func (p *Placement) EstLength(netID int32) float64 {
 	b := p.NetBox(netID)
 	return float64(b.ColHi-b.ColLo) + 2*float64(b.ChHi-b.ChLo)
+}
+
+// ValidateNetBoxes cross-checks every cached bounding box against a
+// from-scratch recomputation. Tests call it after move bursts; a mismatch
+// means an invalidation path was missed.
+func (p *Placement) ValidateNetBoxes() error {
+	if p.boxOK == nil {
+		return nil
+	}
+	for id := range p.NL.Nets {
+		if !p.boxOK[id] {
+			continue
+		}
+		if got, want := p.boxCache[id], p.computeNetBox(int32(id)); got != want {
+			return fmt.Errorf("layout: net %d cached box %+v, recompute %+v", id, got, want)
+		}
+	}
+	return nil
 }
 
 // Validate checks slot/loc consistency: every cell placed exactly once and

@@ -44,6 +44,10 @@ type Config struct {
 	// post-paper extension offered for comparison.
 	Negotiated bool
 
+	// RouteWorkers caps how many channels the negotiated router processes
+	// concurrently (0 = GOMAXPROCS). Scheduling only; never affects results.
+	RouteWorkers int
+
 	// Metrics, when non-nil, receives per-phase wall-clock records for the
 	// four sequential stages (place, global-route, detail-route, timing).
 	// Collection never affects results.
@@ -113,7 +117,7 @@ func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	var dFailed int
 	drouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseDetailRoute)
 	if cfg.Negotiated {
-		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{})
+		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{Workers: cfg.RouteWorkers})
 	} else {
 		dFailed = droute.RouteAllDetailed(f, routes, cfg.DrouteCost, cfg.RouteAttempts, rng)
 	}

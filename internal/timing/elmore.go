@@ -10,7 +10,6 @@ package timing
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/layout"
@@ -153,6 +152,18 @@ type tap struct {
 	sink int // sink index for sinkTap, else -1
 }
 
+// sortTapsByCol orders a channel's taps by column with a stable insertion
+// sort. A channel holds a handful of taps, and unlike sort.SliceStable this
+// allocates nothing; stability makes it produce the identical ordering for
+// equal columns.
+func sortTapsByCol(ts []tap) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].col < ts[j-1].col; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
 // NetDelays computes the Elmore delay from the net's driver to each sink of
 // a completely detail-routed net, using the exact segments and antifuses the
 // route occupies. The returned slice is indexed like Nets[id].Sinks.
@@ -176,9 +187,17 @@ func NetDelays(p *layout.Placement, id int32, r *fabric.NetRoute, wireLoad float
 // storage across calls — the allocation-free fast path for the annealer's
 // inner loop. The slice returned by NetDelays is valid until the next call.
 type DelayCalc struct {
-	g       rcGraph
-	taps    map[int][]tap
-	trunkAt map[int]int
+	g rcGraph
+
+	// Dense per-channel tap scratch. tapsByCh/trunkAt are indexed by channel
+	// and only the channels in touched carry state; resetting walks touched
+	// instead of the whole fabric. (These were maps before, but clearing a map
+	// and re-appending from nil allocates on every call — this is the
+	// annealer's per-move path.)
+	tapsByCh [][]tap
+	trunkAt  []int
+	touched  []int
+
 	chs     []int
 	vbounds []int
 	bounds  []int
@@ -190,6 +209,15 @@ type DelayCalc struct {
 	order, stack []int
 	parentR      []float64
 	down, delay  []float64
+}
+
+// addTap records a tap in the dense per-channel scratch, tracking first
+// touches so the next call can reset only what this one used.
+func (dc *DelayCalc) addTap(ch int, tp tap) {
+	if len(dc.tapsByCh[ch]) == 0 {
+		dc.touched = append(dc.touched, ch)
+	}
+	dc.tapsByCh[ch] = append(dc.tapsByCh[ch], tp)
 }
 
 func resizeInts(s *[]int, n int) []int {
@@ -224,40 +252,37 @@ func (dc *DelayCalc) NetDelays(p *layout.Placement, id int32, r *fabric.NetRoute
 	g.reset()
 	source := g.addNode(0)
 
-	// Gather taps per channel.
-	if dc.taps == nil {
-		dc.taps = make(map[int][]tap, 4)
-		dc.trunkAt = make(map[int]int, 4)
-	} else {
-		for k := range dc.taps {
-			delete(dc.taps, k)
-		}
-		for k := range dc.trunkAt {
-			delete(dc.trunkAt, k)
-		}
+	// Gather taps per channel, resetting only the channels touched last call.
+	for len(dc.tapsByCh) < a.Channels() {
+		dc.tapsByCh = append(dc.tapsByCh, nil)
+		dc.trunkAt = append(dc.trunkAt, -1)
 	}
-	taps := dc.taps
+	for _, ch := range dc.touched {
+		dc.tapsByCh[ch] = dc.tapsByCh[ch][:0]
+		dc.trunkAt[ch] = -1
+	}
+	dc.touched = dc.touched[:0]
 	drvCh, drvCol := p.PinPos(net.Driver)
-	taps[drvCh] = append(taps[drvCh], tap{col: drvCol, kind: driverTap, sink: -1})
+	dc.addTap(drvCh, tap{col: drvCol, kind: driverTap, sink: -1})
 	for si, s := range net.Sinks {
 		ch, col := p.PinPos(s)
-		taps[ch] = append(taps[ch], tap{col: col, kind: sinkTap, sink: si})
+		dc.addTap(ch, tap{col: col, kind: sinkTap, sink: si})
 	}
 	if r.HasTrunk {
 		for i := range r.Chans {
-			taps[r.Chans[i].Ch] = append(taps[r.Chans[i].Ch], tap{col: r.TrunkCol, kind: trunkTap, sink: -1})
+			dc.addTap(r.Chans[i].Ch, tap{col: r.TrunkCol, kind: trunkTap, sink: -1})
 		}
 	}
 
-	trunkNode := dc.trunkAt // channel -> run node at trunk column
+	trunkNode := dc.trunkAt // channel -> run node at trunk column, -1 unset
 	seenDriver := false
 	for i := range r.Chans {
 		ca := &r.Chans[i]
-		ts := taps[ca.Ch]
+		ts := dc.tapsByCh[ca.Ch]
 		if len(ts) == 0 {
 			return nil, fmt.Errorf("timing: net %d routed channel %d has no taps", id, ca.Ch)
 		}
-		sort.SliceStable(ts, func(x, y int) bool { return ts[x].col < ts[y].col })
+		sortTapsByCol(ts)
 		segs := a.Seg[ca.Track]
 		runStart := segs[ca.SegLo].Start
 		runEnd := segs[ca.SegHi].End // exclusive
@@ -313,11 +338,18 @@ func (dc *DelayCalc) NetDelays(p *layout.Placement, id int32, r *fabric.NetRoute
 	}
 
 	if r.HasTrunk {
+		// Channels carrying a trunk tap, ascending. r.Chans holds one entry
+		// per channel, so insertion-sorting its (unique) channel ids yields
+		// exactly what sorting the old map's keys did.
 		chs := dc.chs[:0]
-		for ch := range trunkNode {
-			chs = append(chs, ch)
+		for i := range r.Chans {
+			chs = append(chs, r.Chans[i].Ch)
 		}
-		sort.Ints(chs)
+		for i := 1; i < len(chs); i++ {
+			for j := i; j > 0 && chs[j] < chs[j-1]; j-- {
+				chs[j], chs[j-1] = chs[j-1], chs[j]
+			}
+		}
 		dc.chs = chs
 		vBoundaries := dc.vbounds[:0]
 		for s := r.VLo; s < r.VHi; s++ {
