@@ -5,8 +5,16 @@
 //
 // Usage:
 //
-//	fpgaprd                              # serve on :8080 with 2 workers
+//	fpgaprd                              # serve on :8080 with 2 workers, in-memory only
 //	fpgaprd -addr :9000 -workers 4 -queue 32
+//	fpgaprd -data-dir /var/lib/fpgaprd   # durable: WAL journal + disk layout cache
+//
+// With -data-dir, submissions are journaled before they are enqueued and
+// finished layouts are written to a content-addressed disk cache (bounded by
+// -disk-cache-bytes). On startup the journal is replayed: jobs interrupted
+// by a crash or restart are re-enqueued and finished results are served from
+// disk without recomputation. Without -data-dir the daemon behaves exactly
+// as before: everything lives in memory and dies with the process.
 //
 // Submit and watch a job:
 //
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,21 +47,45 @@ func main() {
 		queue   = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
 		cache   = flag.Int("cache", 128, "deterministic result cache entries")
 		maxJobs = flag.Int("max-jobs", 512, "retained job records (oldest terminal evicted)")
+
+		dataDir = flag.String("data-dir", "",
+			"durable state directory: job journal + disk layout cache (empty = in-memory only)")
+		diskCacheBytes = flag.Int64("disk-cache-bytes", 256<<20,
+			"disk layout cache bound in bytes, LRU-evicted (needs -data-dir)")
+
+		ratePerSec  = flag.Float64("rate-per-client", 0, "per-client job submissions per second (0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 8, "per-client token-bucket burst")
+		maxInflight = flag.Int("max-inflight", 0, "per-client cap on live (queued+running) jobs (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *maxJobs); err != nil {
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxJobs:      *maxJobs,
+		RatePerSec:   *ratePerSec,
+		RateBurst:    *rateBurst,
+		MaxInflight:  *maxInflight,
+	}
+	if err := run(*addr, cfg, *dataDir, *diskCacheBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgaprd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache, maxJobs int) error {
-	svc := server.New(server.Config{
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheEntries: cache,
-		MaxJobs:      maxJobs,
-	})
+func run(addr string, cfg server.Config, dataDir string, diskCacheBytes int64) error {
+	if dataDir != "" {
+		st, err := store.Open(dataDir, diskCacheBytes)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		log.Printf("fpgaprd: opened store %s (recovered %d pending, %d finished; %d torn bytes dropped)",
+			dataDir, len(rec.Pending), len(rec.Done), rec.WAL.TornBytes)
+		cfg.Store = st
+	}
+	svc := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),
@@ -61,7 +94,7 @@ func run(addr string, workers, queue, cache, maxJobs int) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fpgaprd: serving on %s (%d workers, queue %d)", addr, workers, queue)
+		log.Printf("fpgaprd: serving on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueDepth)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,42 +1,89 @@
 package server
 
-import "sync"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
 
 // resultCache is the deterministic layout cache. The optimizer is bit-exact
 // for a fixed (netlist, arch, config, seed) tuple — the property the golden
 // and GOMAXPROCS-invariance tests pin — so a finished JobResult can be served
 // verbatim for any later request with the same cache key, skipping the anneal
 // entirely. Entries are immutable; eviction is FIFO by insertion order.
+//
+// With a store attached, the in-memory map is a write-through front for the
+// content-addressed disk store: put persists the result blob before the job
+// is journaled done, and a memory miss falls back to disk, re-populating the
+// front. Results therefore survive both memory eviction and process death.
 type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*JobResult
-	order   []string
-	hits    int64
-	misses  int64
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*JobResult
+	order    []string
+	hits     int64
+	misses   int64
+	diskHits int64
+
+	disk *store.Store // nil = memory only
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, entries: make(map[string]*JobResult, max)}
+func newResultCache(max int, disk *store.Store) *resultCache {
+	return &resultCache{max: max, entries: make(map[string]*JobResult, max), disk: disk}
 }
 
 func (c *resultCache) get(key string) (*JobResult, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.entries[key]
-	if ok {
+	if r, ok := c.entries[key]; ok {
 		c.hits++
-	} else {
-		c.misses++
+		c.mu.Unlock()
+		return r, true
 	}
-	return r, ok
+	disk := c.disk
+	c.mu.Unlock()
+
+	if disk != nil {
+		// Disk I/O happens outside the cache lock; concurrent readers of one
+		// key may both hit disk, but first insert wins and both get the same
+		// immutable result.
+		if blob, ok := disk.GetBlob(key); ok {
+			if r, err := decodeResult(blob); err == nil {
+				c.mu.Lock()
+				c.diskHits++
+				c.insertLocked(key, r)
+				r = c.entries[key]
+				c.mu.Unlock()
+				return r, true
+			}
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
 func (c *resultCache) put(key string, r *JobResult) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.insertLocked(key, r)
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		// Write-through: errors are absorbed into the store's put-error
+		// counter (visible in /statsz) — a failed disk write only costs a
+		// future recompute, never the in-flight response.
+		disk.PutBlob(key, encodeResult(r))
+	}
+}
+
+// insertLocked adds an entry under c.mu; first writer wins (results for one
+// key are identical anyway).
+func (c *resultCache) insertLocked(key string, r *JobResult) {
 	if _, ok := c.entries[key]; ok {
-		return // first writer wins; results for one key are identical anyway
+		return
 	}
 	for len(c.entries) >= c.max && len(c.order) > 0 {
 		oldest := c.order[0]
@@ -47,15 +94,45 @@ func (c *resultCache) put(key string, r *JobResult) {
 	c.order = append(c.order, key)
 }
 
+// encodeResult serializes a JobResult as a disk blob: one line of stats JSON,
+// then the raw layout bytes.
+func encodeResult(r *JobResult) []byte {
+	stats, err := json.Marshal(r.Stats)
+	if err != nil {
+		stats = []byte("{}") // JobStats is plain data; this cannot happen
+	}
+	buf := make([]byte, 0, len(stats)+1+len(r.Layout))
+	buf = append(buf, stats...)
+	buf = append(buf, '\n')
+	return append(buf, r.Layout...)
+}
+
+// decodeResult parses an encodeResult blob.
+func decodeResult(blob []byte) (*JobResult, error) {
+	i := bytes.IndexByte(blob, '\n')
+	if i < 0 {
+		return nil, fmt.Errorf("result blob has no stats line")
+	}
+	var stats JobStats
+	if err := json.Unmarshal(blob[:i], &stats); err != nil {
+		return nil, fmt.Errorf("result blob stats: %w", err)
+	}
+	return &JobResult{
+		Layout: append([]byte(nil), blob[i+1:]...),
+		Stats:  stats,
+	}, nil
+}
+
 // CacheStats is the cache section of /statsz.
 type CacheStats struct {
-	Entries int   `json:"entries"`
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	DiskHits int64 `json:"disk_hits"`
 }
 
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
 }

@@ -262,6 +262,25 @@ type JobResult struct {
 	Stats  JobStats
 }
 
+// journalSubmission is the WAL payload of a submitted record: everything
+// needed to rebuild and re-enqueue the job after a restart. Req round-trips
+// through buildSpec, which re-derives the identical cache key.
+type journalSubmission struct {
+	Client string     `json:"client,omitempty"`
+	Req    JobRequest `json:"req"`
+}
+
+// journalCompletion is the WAL payload of a done record: the display
+// metadata and stats needed to re-advertise the finished job after a
+// restart. The layout bytes themselves live in the content-addressed blob
+// store under the record's key.
+type journalCompletion struct {
+	Design string   `json:"design"`
+	Cells  int      `json:"cells"`
+	Nets   int      `json:"nets"`
+	Stats  JobStats `json:"stats"`
+}
+
 // Job is one submission moving through the service.
 type Job struct {
 	ID      string
@@ -270,15 +289,24 @@ type Job struct {
 	hub     *eventHub
 	cancel  chan struct{}
 	created time.Time
+	client  string // rate-limit identity (header or remote addr)
 
-	mu        sync.Mutex
-	state     JobState
-	cancelReq bool
-	started   time.Time
-	finished  time.Time
-	errMsg    string
-	result    *JobResult
-	cached    bool
+	// Recovered done jobs have no spec; their display metadata comes from
+	// the journal instead, and their layout is read through the disk cache.
+	design string
+	cells  int
+	nets   int
+
+	mu          sync.Mutex
+	state       JobState
+	cancelReq   bool
+	userCancel  bool // cancelReq came from DELETE, not shutdown
+	interrupted bool // cancelReq came from shutdown: keep the WAL pending
+	started     time.Time
+	finished    time.Time
+	errMsg      string
+	result      *JobResult
+	cached      bool
 }
 
 func newJob(id string, spec *jobSpec) *Job {
@@ -307,6 +335,29 @@ func newCachedJob(id string, spec *jobSpec, res *JobResult) *Job {
 		created: time.Now(),
 		state:   StateDone,
 		result:  res,
+		cached:  true,
+	}
+	j.finished = j.created
+	j.hub.state(StateDone)
+	j.hub.finish()
+	return j
+}
+
+// newRecoveredJob re-advertises a job that finished in a previous process
+// life: born done, carrying the journaled stats, with its layout left on
+// disk until someone asks for it (handleLayout reads through the cache).
+func newRecoveredJob(id string, done journalCompletion, key string) *Job {
+	j := &Job{
+		ID:      id,
+		Key:     key,
+		hub:     newEventHub(),
+		cancel:  make(chan struct{}),
+		created: time.Now(),
+		design:  done.Design,
+		cells:   done.Cells,
+		nets:    done.Nets,
+		state:   StateDone,
+		result:  &JobResult{Stats: done.Stats}, // Layout nil: lives on disk
 		cached:  true,
 	}
 	j.finished = j.created
@@ -355,6 +406,7 @@ func (j *Job) requestCancel() bool {
 	switch {
 	case j.state == StateQueued:
 		j.cancelReq = true
+		j.userCancel = true
 		close(j.cancel)
 		j.state = StateCanceled
 		j.finished = time.Now()
@@ -363,11 +415,51 @@ func (j *Job) requestCancel() bool {
 		return true
 	case j.state == StateRunning && !j.cancelReq:
 		j.cancelReq = true
+		j.userCancel = true
 		close(j.cancel)
 		return true
+	case j.state == StateRunning:
+		// A shutdown interrupt already closed the cancel channel; record the
+		// client's intent so the cancellation is journaled, not replayed.
+		j.userCancel = true
+		return false
 	default:
 		return false
 	}
+}
+
+// interrupt is the shutdown path: it stops the job like requestCancel but
+// flags it interrupted, so no terminal record is journaled — the job's
+// submitted record stays pending in the WAL and the next process life
+// re-enqueues it. This is what makes a restart (graceful or SIGKILL)
+// resume the promised work instead of silently dropping it.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued:
+		j.interrupted = true
+		j.cancelReq = true
+		close(j.cancel)
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.hub.state(StateCanceled)
+		j.hub.finish()
+	case j.state == StateRunning:
+		j.interrupted = true
+		if !j.cancelReq {
+			j.cancelReq = true
+			close(j.cancel)
+		}
+	}
+}
+
+// userCanceled reports whether a client (as opposed to shutdown) asked for
+// cancellation; only those cancellations are journaled as terminal.
+func (j *Job) userCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
 }
 
 // cancelRequested reports whether a cancel has been requested.
@@ -384,13 +476,18 @@ func (j *Job) Snapshot() JobStatus {
 	st := JobStatus{
 		ID:       j.ID,
 		State:    j.state,
-		Design:   j.spec.designName(),
-		Cells:    j.spec.nl.NumCells(),
-		Nets:     j.spec.nl.NumNets(),
+		Design:   j.design,
+		Cells:    j.cells,
+		Nets:     j.nets,
 		Cached:   j.cached,
 		CacheKey: j.Key,
 		Created:  j.created,
 		Error:    j.errMsg,
+	}
+	if j.spec != nil {
+		st.Design = j.spec.designName()
+		st.Cells = j.spec.nl.NumCells()
+		st.Nets = j.spec.nl.NumNets()
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -418,7 +515,9 @@ func (j *Job) Snapshot() JobStatus {
 	return st
 }
 
-// layoutBytes returns the serialized layout of a done job.
+// layoutBytes returns the serialized layout of a done job. A recovered done
+// job reports ok with nil bytes: its layout lives in the disk cache and
+// handleLayout reads it through under the job's key.
 func (j *Job) layoutBytes() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

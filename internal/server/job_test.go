@@ -131,7 +131,7 @@ func TestEventHubReplayAndFollow(t *testing.T) {
 
 // TestResultCacheEviction checks FIFO eviction and the hit/miss counters.
 func TestResultCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	r := &JobResult{}
 	c.put("a", r)
 	c.put("b", r)

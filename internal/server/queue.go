@@ -8,6 +8,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/layio"
+	"repro/internal/store"
 )
 
 // worker is one pool goroutine: it drains the queue until Close.
@@ -31,19 +33,30 @@ func (s *Server) worker() {
 }
 
 // runJob executes one dequeued job through the optimizer and moves it to its
-// terminal state.
+// terminal state, journaling each transition. The durability order on
+// success matters: the layout blob is written through the cache *before* the
+// done record is appended, so a journaled done always has (or at worst has
+// since evicted) its blob.
 func (s *Server) runJob(j *Job) {
 	if !j.beginRunning() {
 		return // canceled while queued
 	}
+	s.journal(store.Record{Kind: store.KindRunning, Job: j.ID, Key: j.Key})
 	atomic.AddInt64(&s.runs, 1)
 	start := time.Now()
 	res, layoutText, err := executeJob(j.spec, j.cancel, j.hub)
 	switch {
 	case err != nil:
 		j.finishTerminal(StateFailed, nil, err.Error())
+		s.journal(store.Record{Kind: store.KindFailed, Job: j.ID, Key: j.Key,
+			Data: []byte(err.Error())})
 	case res.Cancelled || j.cancelRequested():
 		j.finishTerminal(StateCanceled, nil, "")
+		// Journal only client cancellations. A shutdown interrupt leaves the
+		// submitted record pending so the next process life re-runs the job.
+		if j.userCanceled() {
+			s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key})
+		}
 	default:
 		jr := &JobResult{
 			Layout: layoutText,
@@ -61,6 +74,15 @@ func (s *Server) runJob(j *Job) {
 		}
 		s.cache.put(j.Key, jr)
 		j.finishTerminal(StateDone, jr, "")
+		if s.store != nil {
+			data, _ := json.Marshal(journalCompletion{
+				Design: j.spec.designName(),
+				Cells:  j.spec.nl.NumCells(),
+				Nets:   j.spec.nl.NumNets(),
+				Stats:  jr.Stats,
+			})
+			s.journal(store.Record{Kind: store.KindDone, Job: j.ID, Key: j.Key, Data: data})
+		}
 	}
 }
 

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucket drives the token bucket with a synthetic clock.
+func TestRateLimiterBucket(t *testing.T) {
+	l := newRateLimiter(2, 2) // 2 tokens/sec, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("c1", now); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	wait, ok := l.allow("c1", now)
+	if ok {
+		t.Fatal("third immediate request allowed past burst")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Errorf("wait = %v, want (0, 500ms] at 2 tokens/sec", wait)
+	}
+	// A different client has its own bucket.
+	if _, ok := l.allow("c2", now); !ok {
+		t.Error("independent client denied")
+	}
+	// Refill: after 500ms one token has accrued.
+	if _, ok := l.allow("c1", now.Add(500*time.Millisecond)); !ok {
+		t.Error("request denied after refill interval")
+	}
+	// Tokens cap at burst, never beyond.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("c1", later); !ok {
+			t.Fatalf("post-idle burst request %d denied", i)
+		}
+	}
+	if _, ok := l.allow("c1", later); ok {
+		t.Error("idle time accrued more than burst tokens")
+	}
+}
+
+// TestRateLimiterPrune requires idle buckets to be swept so the table stays
+// proportional to active clients.
+func TestRateLimiterPrune(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	l.allow("idle", now)
+	l.allow("busy", now)
+	if got := l.clientCount(); got != 2 {
+		t.Fatalf("clientCount = %d, want 2", got)
+	}
+	later := now.Add(bucketIdleTTL + prunePeriod + time.Second)
+	l.allow("busy", later)
+	if got := l.clientCount(); got != 1 {
+		t.Errorf("clientCount after prune = %d, want 1 (idle swept)", got)
+	}
+}
+
+// TestRateLimiterDisabled: a nil limiter and a zero rate both admit
+// everything.
+func TestRateLimiterDisabled(t *testing.T) {
+	var nilLimiter *rateLimiter
+	if _, ok := nilLimiter.allow("x", time.Now()); !ok {
+		t.Error("nil limiter denied a request")
+	}
+	if nilLimiter.clientCount() != 0 {
+		t.Error("nil limiter counts clients")
+	}
+}
+
+// TestClientKey pins the identity derivation: header first (bounded), then
+// remote host.
+func TestClientKey(t *testing.T) {
+	req, _ := http.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	req.RemoteAddr = "192.0.2.7:41234"
+	if got := clientKey(req); got != "192.0.2.7" {
+		t.Errorf("clientKey = %q, want remote host", got)
+	}
+	req.Header.Set("X-Client-ID", "  tenant-42  ")
+	if got := clientKey(req); got != "tenant-42" {
+		t.Errorf("clientKey = %q, want trimmed header", got)
+	}
+	long := make([]byte, 4*maxClientKeyLen)
+	for i := range long {
+		long[i] = 'a'
+	}
+	req.Header.Set("X-Client-ID", string(long))
+	if got := clientKey(req); len(got) != maxClientKeyLen {
+		t.Errorf("unbounded client key accepted: %d bytes", len(got))
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{10 * time.Second, 10},
+	} {
+		if got := retryAfterSeconds(tc.wait); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}

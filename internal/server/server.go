@@ -18,13 +18,18 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Config sizes the service.
@@ -41,6 +46,23 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes caps the request body (default 4 MiB).
 	MaxBodyBytes int64
+
+	// Store enables durability: job lifecycle records are journaled to its
+	// WAL (submissions before they are enqueued) and finished layouts are
+	// written through to its content-addressed disk cache. At startup the
+	// journal is replayed: interrupted jobs are re-enqueued, finished ones
+	// re-advertised. nil keeps the service purely in-memory — bit-for-bit
+	// today's pre-persistence behavior.
+	Store *store.Store
+
+	// RatePerSec arms a per-client token-bucket rate limit on POST /v1/jobs
+	// (0 disables). RateBurst is the bucket capacity (default 1 when armed).
+	RatePerSec float64
+	RateBurst  int
+	// MaxInflight caps one client's live (queued or running) jobs
+	// (0 disables). Violations answer 429 with Retry-After, like the queue's
+	// backpressure path.
+	MaxInflight int
 }
 
 func (c *Config) setDefaults() {
@@ -64,13 +86,15 @@ func (c *Config) setDefaults() {
 // Server is the job service. Create with New, serve via Handler, stop with
 // Close.
 type Server struct {
-	cfg   Config
-	start time.Time
-	mux   *http.ServeMux
-	queue chan *Job
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	cache *resultCache
+	cfg     Config
+	start   time.Time
+	mux     *http.ServeMux
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	cache   *resultCache
+	store   *store.Store // nil = in-memory only
+	limiter *rateLimiter // nil = no token-bucket limit
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -78,13 +102,18 @@ type Server struct {
 	nextID   int64
 
 	// Counters (atomic; reported by /statsz).
-	submitted int64
-	rejected  int64
-	cacheHits int64
-	runs      int64
+	submitted   int64
+	rejected    int64
+	cacheHits   int64
+	runs        int64
+	rateLimited int64
+	walErrors   int64
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. If cfg.Store is set, the
+// replayed journal is re-instated first: finished jobs are re-advertised,
+// interrupted ones re-enqueued, and the journal compacted — all before the
+// workers start, so recovered work runs in its original submission order.
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
@@ -93,8 +122,12 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		queue: make(chan *Job, cfg.QueueDepth),
 		quit:  make(chan struct{}),
-		cache: newResultCache(cfg.CacheEntries),
+		cache: newResultCache(cfg.CacheEntries, cfg.Store),
+		store: cfg.Store,
 		jobs:  make(map[string]*Job),
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.RateBurst)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -103,6 +136,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if s.store != nil {
+		s.recover()
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -110,17 +146,96 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// recover re-instates the journal's surviving jobs. Runs before the worker
+// pool starts, so enqueue order is exactly the original submission order.
+func (s *Server) recover() {
+	rec := s.store.Recovery()
+	keep := make([]store.Record, 0, len(rec.Done)+len(rec.Pending))
+	for _, d := range rec.Done {
+		var done journalCompletion
+		if err := json.Unmarshal(d.Data, &done); err != nil {
+			continue // journaled by a future/past schema; the blob is still servable via resubmission
+		}
+		s.register(newRecoveredJob(d.Job, done, d.Key))
+		s.bumpJobID(d.Job)
+		keep = append(keep, d)
+	}
+	var enqueue []*Job
+	for _, p := range rec.Pending {
+		var sub journalSubmission
+		if err := json.Unmarshal(p.Data, &sub); err != nil {
+			continue
+		}
+		spec, err := buildSpec(sub.Req)
+		if err != nil {
+			continue // validation rules tightened since the journal was written
+		}
+		j := newJob(p.Job, spec)
+		j.client = sub.Client
+		s.register(j)
+		s.bumpJobID(p.Job)
+		enqueue = append(enqueue, j)
+		keep = append(keep, p)
+	}
+	// Fold the replayed history to one record per surviving job; this is
+	// what bounds journal growth across restarts.
+	if err := s.store.Compact(keep); err != nil {
+		atomic.AddInt64(&s.walErrors, 1)
+	}
+	for _, j := range enqueue {
+		select {
+		case s.queue <- j:
+		default:
+			// More interrupted work than queue slots: fail the overflow
+			// loudly rather than block startup.
+			j.finishTerminal(StateFailed, nil, "job queue full during crash recovery")
+			s.journal(store.Record{Kind: store.KindFailed, Job: j.ID, Key: j.Key,
+				Data: []byte("job queue full during crash recovery")})
+		}
+	}
+}
+
+// bumpJobID advances the ID counter past a recovered job's numeric suffix so
+// fresh submissions never collide with re-instated ones.
+func (s *Server) bumpJobID(id string) {
+	numeric := strings.TrimPrefix(id, "j")
+	n, err := strconv.ParseInt(numeric, 10, 64)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
+}
+
+// journal appends one lifecycle record; a nil store makes it free. Append
+// errors are counted (visible in /statsz) rather than failing the job — the
+// in-memory state machine stays authoritative for this process life.
+func (s *Server) journal(r store.Record) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Journal(r); err != nil {
+		atomic.AddInt64(&s.walErrors, 1)
+	}
+}
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool: running jobs are cancelled (they stop at the
-// next temperature boundary) and queued jobs are abandoned in place. It
-// blocks until every worker has exited.
+// Close stops the worker pool: running jobs are interrupted (they stop at
+// the next temperature boundary) and queued jobs are abandoned in place. It
+// blocks until every worker has exited. Interrupts are deliberately not
+// journaled as cancellations — with a store attached, every interrupted
+// job's submitted record stays pending in the WAL, so the next process life
+// re-enqueues and finishes it.
 func (s *Server) Close() {
 	close(s.quit)
 	s.mu.Lock()
 	for _, j := range s.jobs {
-		j.requestCancel()
+		j.interrupt()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -183,9 +298,18 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit implements POST /v1/jobs: decode and validate, serve cache
-// hits instantly, otherwise enqueue with backpressure.
+// handleSubmit implements POST /v1/jobs: admission control (per-client rate
+// limit and inflight quota), decode and validate, serve cache hits
+// instantly, otherwise journal and enqueue with backpressure.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	client := clientKey(r)
+	if wait, ok := s.limiter.allow(client, time.Now()); !ok {
+		atomic.AddInt64(&s.rateLimited, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+		httpError(w, http.StatusTooManyRequests,
+			"rate limit exceeded for client %q; retry later", client)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
@@ -201,23 +325,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res, ok := s.cache.get(spec.key); ok {
 		atomic.AddInt64(&s.cacheHits, 1)
 		j := newCachedJob(s.newJobID(), spec, res)
+		j.client = client
 		s.register(j)
 		s.respondJob(w, j, http.StatusOK)
 		return
 	}
 
+	// The inflight quota gates real work only: cache hits above cost no
+	// worker time and are always admitted.
+	if s.cfg.MaxInflight > 0 && s.inflight(client) >= s.cfg.MaxInflight {
+		atomic.AddInt64(&s.rateLimited, 1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"client %q has %d jobs in flight (max %d); retry later",
+			client, s.cfg.MaxInflight, s.cfg.MaxInflight)
+		return
+	}
+
 	j := newJob(s.newJobID(), spec)
+	j.client = client
 	s.register(j)
+	// Journal before enqueue: once the client holds a 202, the submission is
+	// durable — a crash between here and completion re-enqueues it.
+	if s.store != nil {
+		data, _ := json.Marshal(journalSubmission{Client: client, Req: spec.req})
+		if err := s.store.Journal(store.Record{
+			Kind: store.KindSubmitted, Job: j.ID, Key: j.Key, Data: data,
+		}); err != nil {
+			atomic.AddInt64(&s.walErrors, 1)
+			s.unregister(j.ID)
+			httpError(w, http.StatusInternalServerError, "journal submission: %v", err)
+			return
+		}
+	}
 	select {
 	case s.queue <- j:
 		s.respondJob(w, j, http.StatusAccepted)
 	default:
 		s.unregister(j.ID)
+		// Neutralize the submitted record: a rejected job must not be
+		// resurrected by the next recovery.
+		s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key,
+			Data: []byte("queue full")})
 		atomic.AddInt64(&s.rejected, 1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			"queue full (%d jobs); retry later", s.cfg.QueueDepth)
 	}
+}
+
+// inflight counts one client's live (non-terminal) jobs.
+func (s *Server) inflight(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.client == client && !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Server) respondJob(w http.ResponseWriter, j *Job, status int) {
@@ -252,6 +419,18 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "job %s is %s, no layout available", j.ID, j.State())
 		return
 	}
+	if text == nil {
+		// Recovered done job: the layout was left on disk. Read it through
+		// the cache; it may legitimately be gone if the disk cache evicted
+		// the blob since the job finished.
+		res, hit := s.cache.get(j.Key)
+		if !hit {
+			httpError(w, http.StatusConflict,
+				"job %s finished in a previous run and its layout was evicted; resubmit to recompute", j.ID)
+			return
+		}
+		text = res.Layout
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(text)
 }
@@ -263,7 +442,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	j.requestCancel()
+	if j.requestCancel() && j.State() == StateCanceled {
+		// Queued jobs cancel synchronously here (a running job's terminal
+		// record is journaled by its worker at the stop boundary).
+		s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, j.Snapshot())
 }
@@ -338,33 +521,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the wire shape of GET /statsz.
 type Stats struct {
-	UptimeSec  float64          `json:"uptime_sec"`
-	Workers    int              `json:"workers"`
-	QueueDepth int              `json:"queue_depth"`
-	QueueCap   int              `json:"queue_cap"`
-	Jobs       map[JobState]int `json:"jobs"`
-	Submitted  int64            `json:"submitted"`
-	Rejected   int64            `json:"rejected"`
-	CacheHits  int64            `json:"cache_hit_responses"`
-	Runs       int64            `json:"optimizer_runs"`
-	Cache      CacheStats       `json:"cache"`
-	Goroutines int              `json:"goroutines"`
+	UptimeSec   float64          `json:"uptime_sec"`
+	Workers     int              `json:"workers"`
+	QueueDepth  int              `json:"queue_depth"`
+	QueueCap    int              `json:"queue_cap"`
+	Jobs        map[JobState]int `json:"jobs"`
+	Submitted   int64            `json:"submitted"`
+	Rejected    int64            `json:"rejected"`
+	RateLimited int64            `json:"rate_limited"`
+	RateClients int              `json:"rate_clients"`
+	CacheHits   int64            `json:"cache_hit_responses"`
+	Runs        int64            `json:"optimizer_runs"`
+	Cache       CacheStats       `json:"cache"`
+	Store       *store.Stats     `json:"store,omitempty"` // nil without -data-dir
+	WALErrors   int64            `json:"wal_errors,omitempty"`
+	Goroutines  int              `json:"goroutines"`
 }
 
 // StatsSnapshot returns the current service counters.
 func (s *Server) StatsSnapshot() Stats {
 	st := Stats{
-		UptimeSec:  time.Since(s.start).Seconds(),
-		Workers:    s.cfg.Workers,
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueDepth,
-		Jobs:       make(map[JobState]int),
-		Submitted:  atomic.LoadInt64(&s.submitted),
-		Rejected:   atomic.LoadInt64(&s.rejected),
-		CacheHits:  atomic.LoadInt64(&s.cacheHits),
-		Runs:       atomic.LoadInt64(&s.runs),
-		Cache:      s.cache.stats(),
-		Goroutines: runtime.NumGoroutine(),
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Workers:     s.cfg.Workers,
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.cfg.QueueDepth,
+		Jobs:        make(map[JobState]int),
+		Submitted:   atomic.LoadInt64(&s.submitted),
+		Rejected:    atomic.LoadInt64(&s.rejected),
+		RateLimited: atomic.LoadInt64(&s.rateLimited),
+		RateClients: s.limiter.clientCount(),
+		CacheHits:   atomic.LoadInt64(&s.cacheHits),
+		Runs:        atomic.LoadInt64(&s.runs),
+		Cache:       s.cache.stats(),
+		WALErrors:   atomic.LoadInt64(&s.walErrors),
+		Goroutines:  runtime.NumGoroutine(),
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// blobMagic heads every blob file, followed by a uint32le CRC-32C of the
+// payload and then the payload itself. The key is a hash of the *inputs*
+// that produced the blob, not of its content, so the CRC is what detects
+// on-disk corruption: a blob that fails its checksum is treated as a miss
+// and deleted rather than served.
+const blobMagic = "FPB1"
+
+const blobHeaderLen = len(blobMagic) + 4
+
+// BlobStore is the content-addressed result store: one file per key under
+// dir, written via temp-file+rename so readers never observe a partial blob
+// and a crash never corrupts an existing one. Total bytes are bounded by an
+// LRU index; file mtimes are touched on access so the LRU order survives
+// restarts (the reopen scan sorts by mtime).
+type BlobStore struct {
+	dir string
+	max int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	total   int64
+
+	hits      int64
+	misses    int64
+	evictions int64
+	putErrors int64
+	oversized int64
+}
+
+type blobEntry struct {
+	key  string
+	size int64 // on-disk file size, header included
+}
+
+// OpenBlobStore opens (creating if absent) the store rooted at dir, bounded
+// to maxBytes of blob files (<= 0 means a 256 MiB default). Existing blobs
+// are indexed oldest-access first, then evicted down to the bound in case it
+// shrank since the last run.
+func OpenBlobStore(dir string, maxBytes int64) (*BlobStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create blob dir: %w", err)
+	}
+	s := &BlobStore{
+		dir:     dir,
+		max:     maxBytes,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan blob dir: %w", err)
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, e := range ents {
+		if e.IsDir() || !validBlobKey(e.Name()) {
+			continue // stray temp files and foreign names are not indexed
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{e.Name(), info.Size(), info.ModTime()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, b := range found { // oldest first, so each PushFront leaves it LRU-last
+		s.entries[b.key] = s.lru.PushFront(&blobEntry{key: b.key, size: b.size})
+		s.total += b.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// validBlobKey accepts lowercase-hex content keys (the server's sha256 cache
+// keys). Everything else — in particular anything that could traverse paths
+// — is rejected.
+func validBlobKey(key string) bool {
+	if len(key) < 8 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the blob stored under key. A checksum failure deletes the
+// file and reports a miss: corruption must never be served.
+func (s *BlobStore) Get(key string) ([]byte, bool) {
+	if !validBlobKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	path := filepath.Join(s.dir, key)
+	data, err := os.ReadFile(path)
+	if err == nil && len(data) >= blobHeaderLen && string(data[:len(blobMagic)]) == blobMagic {
+		payload := data[blobHeaderLen:]
+		if crc32.Checksum(payload, crcTable) == binary.LittleEndian.Uint32(data[len(blobMagic):blobHeaderLen]) {
+			s.lru.MoveToFront(el)
+			s.hits++
+			now := time.Now()
+			os.Chtimes(path, now, now) // best-effort: persists LRU order across restarts
+			return payload, true
+		}
+	}
+	// Unreadable, truncated or checksum-failed: drop it from disk and index.
+	os.Remove(path)
+	s.total -= el.Value.(*blobEntry).size
+	s.lru.Remove(el)
+	delete(s.entries, key)
+	s.misses++
+	return nil, false
+}
+
+// Has reports whether key is indexed (without reading or touching it).
+func (s *BlobStore) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put stores data under key. The blob is written to a temp file, fsynced,
+// and renamed into place (plus a directory fsync), so it becomes visible
+// atomically and only once durable. Content addressing makes the first
+// writer win: a key that already exists is just touched, since any two
+// writes for one key carry identical bytes. Blobs that alone exceed the
+// size bound are skipped — storing one would immediately evict everything
+// including itself.
+func (s *BlobStore) Put(key string, data []byte) error {
+	if !validBlobKey(key) {
+		return fmt.Errorf("store: invalid blob key %q", key)
+	}
+	size := int64(len(data) + blobHeaderLen)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	if size > s.max {
+		s.oversized++
+		return nil
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, blobMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(data, crcTable))
+	buf = append(buf, data...)
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		s.putErrors++
+		return fmt.Errorf("store: blob temp file: %w", err)
+	}
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.putErrors++
+		return fmt.Errorf("store: write blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors++
+		return fmt.Errorf("store: close blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors++
+		return fmt.Errorf("store: publish blob: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		s.putErrors++
+		return err
+	}
+	s.entries[key] = s.lru.PushFront(&blobEntry{key: key, size: size})
+	s.total += size
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked drops least-recently-used blobs until the store fits its
+// byte bound. Callers hold s.mu.
+func (s *BlobStore) evictLocked() {
+	for s.total > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*blobEntry)
+		os.Remove(filepath.Join(s.dir, e.key))
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.total -= e.size
+		s.evictions++
+	}
+}
+
+// BlobStats is the blob store's counter snapshot.
+type BlobStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	PutErrors int64 `json:"put_errors"`
+	Oversized int64 `json:"oversized_skips"`
+}
+
+// Stats snapshots the store's counters.
+func (s *BlobStore) Stats() BlobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return BlobStats{
+		Entries:   len(s.entries),
+		Bytes:     s.total,
+		MaxBytes:  s.max,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		PutErrors: s.putErrors,
+		Oversized: s.oversized,
+	}
+}

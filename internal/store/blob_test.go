@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// blobKey fabricates a valid (hex) content key distinguishable by i.
+func blobKey(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+func openTestBlobs(t *testing.T, dir string, max int64) *BlobStore {
+	t.Helper()
+	s, err := OpenBlobStore(dir, max)
+	if err != nil {
+		t.Fatalf("OpenBlobStore: %v", err)
+	}
+	return s
+}
+
+// TestBlobRoundTrip stores and refetches blobs, in one process and across a
+// reopen.
+func TestBlobRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestBlobs(t, dir, 1<<20)
+	want := []byte("layout bytes\nrow 0: ...\n")
+	if err := s.Put(blobKey(0), want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(blobKey(0))
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want stored bytes", got, ok)
+	}
+	if _, ok := s.Get(blobKey(1)); ok {
+		t.Error("Get of absent key reported a hit")
+	}
+	// Identical re-put is a no-op (content addressing: first writer wins).
+	if err := s.Put(blobKey(0), want); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 entry / 1 hit / 1 miss", st)
+	}
+
+	// A fresh process must see the same content.
+	s2 := openTestBlobs(t, dir, 1<<20)
+	got, ok = s2.Get(blobKey(0))
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+// TestBlobKeyValidation pins the path-safety gate.
+func TestBlobKeyValidation(t *testing.T) {
+	s := openTestBlobs(t, t.TempDir(), 1<<20)
+	for _, key := range []string{"", "short", "../../../../etc/passwd", "ABCDEF0123456789", "0123456789abcdefg"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get accepted invalid key %q", key)
+		}
+	}
+}
+
+// TestBlobLRUEviction fills the store past its byte bound and requires the
+// least-recently-used blobs to be dropped, with recently-read blobs kept.
+func TestBlobLRUEviction(t *testing.T) {
+	payload := bytes.Repeat([]byte("p"), 100)
+	per := int64(len(payload) + blobHeaderLen)
+	s := openTestBlobs(t, t.TempDir(), 4*per)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(blobKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch blob 0 so blob 1 is now the LRU victim.
+	if _, ok := s.Get(blobKey(0)); !ok {
+		t.Fatal("blob 0 missing before eviction")
+	}
+	if err := s.Put(blobKey(4), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(blobKey(1)); ok {
+		t.Error("LRU blob 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if _, ok := s.Get(blobKey(i)); !ok {
+			t.Errorf("blob %d evicted, want kept", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Bytes > st.MaxBytes {
+		t.Errorf("stats = %+v, want 1 eviction within bound", st)
+	}
+}
+
+// TestBlobLRUSurvivesReopen requires access order (persisted via mtimes) to
+// drive eviction after a restart.
+func TestBlobLRUSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("p"), 100)
+	per := int64(len(payload) + blobHeaderLen)
+	s := openTestBlobs(t, dir, 4*per)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(blobKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make the access-order distinction robust to filesystem mtime
+	// granularity, then touch blob 0.
+	for i := 0; i < 3; i++ {
+		old := time.Now().Add(-time.Hour).Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, blobKey(i)), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get(blobKey(0))
+
+	s2 := openTestBlobs(t, dir, 2*per) // shrunk bound: must evict down to 2
+	if _, ok := s2.Get(blobKey(1)); ok {
+		t.Error("oldest-access blob 1 survived the shrunk bound")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := s2.Get(blobKey(i)); !ok {
+			t.Errorf("blob %d evicted at reopen, want kept", i)
+		}
+	}
+}
+
+// TestBlobCorruptionIsAMiss flips payload bytes on disk and requires Get to
+// refuse and delete the blob instead of serving it.
+func TestBlobCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestBlobs(t, dir, 1<<20)
+	if err := s.Put(blobKey(0), []byte("precious layout bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, blobKey(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(blobKey(0)); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt blob not deleted")
+	}
+	if s.Has(blobKey(0)) {
+		t.Error("corrupt blob still indexed")
+	}
+}
+
+// TestBlobOversizedSkipped requires a blob larger than the whole bound to be
+// skipped rather than thrash the cache.
+func TestBlobOversizedSkipped(t *testing.T) {
+	s := openTestBlobs(t, t.TempDir(), 64)
+	if err := s.Put(blobKey(0), bytes.Repeat([]byte("x"), 256)); err != nil {
+		t.Fatalf("oversized Put errored: %v", err)
+	}
+	if s.Has(blobKey(0)) {
+		t.Error("oversized blob was stored")
+	}
+	if st := s.Stats(); st.Oversized != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want one oversized skip", st)
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store bundles the job journal and the content-addressed blob store under
+// one data directory:
+//
+//	<dir>/journal.wal   CRC-framed job lifecycle log (wal.go)
+//	<dir>/blobs/<key>   checksummed result blobs, LRU-bounded (blob.go)
+//
+// It is the unit the server wires in: Journal/PutBlob/GetBlob during
+// operation, Recovery at startup, Compact once the recovered state has been
+// re-instated.
+type Store struct {
+	dir      string
+	wal      *WAL
+	blobs    *BlobStore
+	recovery *Recovery
+}
+
+// Recovery is the reduction of the replayed journal to the jobs that still
+// matter: Pending holds the original submitted record of every job with no
+// terminal record (in submission order — these are re-enqueued), and Done
+// holds the done record of every successfully finished job (these are
+// re-advertised; their layouts live in the blob store).
+type Recovery struct {
+	Pending []Record
+	Done    []Record
+	WAL     RecoverStats
+}
+
+// Open opens (creating if absent) the store under dir, replaying the
+// journal and indexing the blobs. blobCacheBytes bounds the blob store
+// (<= 0 selects its default).
+func Open(dir string, blobCacheBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	wal, recs, rstats, err := OpenWAL(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := OpenBlobStore(filepath.Join(dir, "blobs"), blobCacheBytes)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	rec := reduceRecords(recs)
+	rec.WAL = rstats
+	return &Store{dir: dir, wal: wal, blobs: blobs, recovery: rec}, nil
+}
+
+// reduceRecords folds a replayed record history into per-job outcomes,
+// preserving first-submission order.
+func reduceRecords(recs []Record) *Recovery {
+	type jobState struct {
+		submitted *Record
+		done      *Record
+		terminal  bool
+	}
+	byJob := make(map[string]*jobState)
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		st, ok := byJob[r.Job]
+		if !ok {
+			st = &jobState{}
+			byJob[r.Job] = st
+			order = append(order, r.Job)
+		}
+		switch r.Kind {
+		case KindSubmitted:
+			if st.submitted == nil {
+				st.submitted = r
+			}
+		case KindDone:
+			if st.done == nil {
+				st.done = r
+			}
+			st.terminal = true
+		case KindFailed, KindCanceled:
+			st.terminal = true
+		}
+	}
+	rec := &Recovery{}
+	for _, job := range order {
+		st := byJob[job]
+		switch {
+		case st.done != nil:
+			rec.Done = append(rec.Done, *st.done)
+		case !st.terminal && st.submitted != nil:
+			rec.Pending = append(rec.Pending, *st.submitted)
+		}
+	}
+	return rec
+}
+
+// Recovery returns what the journal replay found at Open time.
+func (s *Store) Recovery() *Recovery { return s.recovery }
+
+// Journal appends one lifecycle record durably.
+func (s *Store) Journal(r Record) error { return s.wal.Append(r) }
+
+// Compact rewrites the journal to exactly keep (see WAL.Compact).
+func (s *Store) Compact(keep []Record) error { return s.wal.Compact(keep) }
+
+// PutBlob stores a result blob under its content key.
+func (s *Store) PutBlob(key string, data []byte) error { return s.blobs.Put(key, data) }
+
+// GetBlob fetches a result blob, verifying its checksum.
+func (s *Store) GetBlob(key string) ([]byte, bool) { return s.blobs.Get(key) }
+
+// HasBlob reports whether a key is present without reading it.
+func (s *Store) HasBlob(key string) bool { return s.blobs.Has(key) }
+
+// Close releases the journal. Blob files need no teardown.
+func (s *Store) Close() error { return s.wal.Close() }
+
+// Stats is the store section of the daemon's /statsz.
+type Stats struct {
+	WALRecords       int64     `json:"wal_records"`
+	WALBytes         int64     `json:"wal_bytes"`
+	RecoveredPending int       `json:"recovered_pending"`
+	RecoveredDone    int       `json:"recovered_done"`
+	TornBytesDropped int64     `json:"torn_bytes_dropped"`
+	Blobs            BlobStats `json:"disk_cache"`
+}
+
+// Stats snapshots journal and blob counters plus the recovery outcome.
+func (s *Store) Stats() Stats {
+	records, bytes := s.wal.Size()
+	return Stats{
+		WALRecords:       records,
+		WALBytes:         bytes,
+		RecoveredPending: len(s.recovery.Pending),
+		RecoveredDone:    len(s.recovery.Done),
+		TornBytesDropped: s.recovery.WAL.TornBytes,
+		Blobs:            s.blobs.Stats(),
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// WAL is the append-only job journal. Appends are framed (record.go),
+// written in one Write call and fsynced before Append returns, so a record
+// that was acknowledged is durable; a crash mid-append leaves at most one
+// torn frame at the tail, which OpenWAL detects (length/CRC framing) and
+// truncates away. Replay therefore always yields an intact prefix of
+// acknowledged records.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int64
+	size    int64
+	buf     []byte // append scratch, reused across Append calls
+}
+
+// RecoverStats describes what OpenWAL found on disk.
+type RecoverStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// TornBytes is the length of the corrupt/torn tail that was truncated.
+	TornBytes int64
+}
+
+// OpenWAL opens (creating if absent) the journal at path, replays its intact
+// record prefix, and truncates any torn tail so the log is append-clean.
+func OpenWAL(path string) (*WAL, []Record, RecoverStats, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, RecoverStats{}, fmt.Errorf("store: open WAL: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, RecoverStats{}, fmt.Errorf("store: read WAL: %w", err)
+	}
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		r, n, err := decodeFrame(data[off:])
+		if err != nil {
+			break // torn or corrupt tail: keep the intact prefix
+		}
+		recs = append(recs, r)
+		off += n
+	}
+	stats := RecoverStats{Records: len(recs), TornBytes: int64(len(data) - off)}
+	if stats.TornBytes > 0 {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("store: sync truncated WAL: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("store: seek WAL end: %w", err)
+	}
+	w := &WAL{f: f, path: path, records: int64(len(recs)), size: int64(off)}
+	return w, recs, stats, nil
+}
+
+// Append journals one record: encode, write, fsync. It returns only after
+// the record is durable.
+func (w *WAL) Append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: append to closed WAL")
+	}
+	var err error
+	w.buf, err = appendFrame(w.buf[:0], &r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("store: append WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync WAL: %w", err)
+	}
+	w.records++
+	w.size += int64(len(w.buf))
+	return nil
+}
+
+// Compact atomically replaces the journal's contents with keep: the new log
+// is written to a temp file, fsynced, and renamed over the old one (with a
+// directory fsync), so a crash at any point leaves either the old complete
+// log or the new complete log. The server compacts at recovery, folding a
+// history of lifecycle records down to one record per job that still
+// matters, which bounds journal growth across restarts.
+func (w *WAL) Compact(keep []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: compact closed WAL")
+	}
+	var buf []byte
+	for i := range keep {
+		var err error
+		if buf, err = appendFrame(buf, &keep[i]); err != nil {
+			return err
+		}
+	}
+	tmp := w.path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: swap compacted WAL: %w", err)
+	}
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen compacted WAL: %w", err)
+	}
+	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seek compacted WAL: %w", err)
+	}
+	w.f.Close()
+	w.f = f
+	w.records = int64(len(keep))
+	w.size = int64(len(buf))
+	return nil
+}
+
+// Size reports the journal's record count and byte length.
+func (w *WAL) Size() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.size
+}
+
+// Close releases the journal file. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsync %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in it
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindSubmitted, Job: "j1", Key: "aaaa1111bbbb2222", Data: []byte(`{"req":{"design":"tiny"}}`)},
+		{Kind: KindRunning, Job: "j1", Key: "aaaa1111bbbb2222"},
+		{Kind: KindDone, Job: "j1", Key: "aaaa1111bbbb2222", Data: []byte(`{"stats":{}}`)},
+		{Kind: KindSubmitted, Job: "j2", Key: "cccc3333dddd4444", Data: bytes.Repeat([]byte("x"), 300)},
+		{Kind: KindFailed, Job: "j2", Key: "cccc3333dddd4444", Data: []byte("boom")},
+		{Kind: KindSubmitted, Job: "j3", Key: "eeee5555ffff6666"},
+		{Kind: KindCanceled, Job: "j3", Key: "eeee5555ffff6666"},
+	}
+}
+
+func openTestWAL(t *testing.T, path string) (*WAL, []Record, RecoverStats) {
+	t.Helper()
+	w, recs, stats, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL(%s): %v", path, err)
+	}
+	return w, recs, stats
+}
+
+// TestWALRoundTrip appends a record sequence, reopens the log, and requires
+// the identical sequence back with clean recovery stats.
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, recs, stats := openTestWAL(t, path)
+	if len(recs) != 0 || stats.Records != 0 || stats.TornBytes != 0 {
+		t.Fatalf("fresh WAL not empty: %d records, stats %+v", len(recs), stats)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append(%v): %v", r.Kind, err)
+		}
+	}
+	nrec, nbytes := w.Size()
+	if nrec != int64(len(want)) || nbytes <= 0 {
+		t.Fatalf("Size() = %d records %d bytes, want %d records", nrec, nbytes, len(want))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, stats := openTestWAL(t, path)
+	defer w2.Close()
+	if stats.TornBytes != 0 {
+		t.Errorf("clean log reported %d torn bytes", stats.TornBytes)
+	}
+	if stats.Records != len(want) {
+		t.Errorf("recovered %d records, want %d", stats.Records, len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The reopened log must stay appendable and keep the history.
+	extra := Record{Kind: KindRunning, Job: "j9", Key: "0123456789abcdef"}
+	if err := w2.Append(extra); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	w2.Close()
+	w3, got, _ := openTestWAL(t, path)
+	defer w3.Close()
+	if !reflect.DeepEqual(got, append(want, extra)) {
+		t.Errorf("post-reopen append lost: got %d records, want %d", len(got), len(want)+1)
+	}
+}
+
+// TestWALCompact rewrites the journal down to a subset and requires the
+// rewrite to be atomic, replayable and appendable.
+func TestWALCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	w, _, _ := openTestWAL(t, path)
+	for _, r := range testRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, before := w.Size()
+	keep := []Record{
+		{Kind: KindDone, Job: "j1", Key: "aaaa1111bbbb2222", Data: []byte(`{"stats":{}}`)},
+		{Kind: KindSubmitted, Job: "j4", Key: "9999aaaa8888bbbb", Data: []byte(`{}`)},
+	}
+	if err := w.Compact(keep); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	nrec, nbytes := w.Size()
+	if nrec != 2 || nbytes >= before {
+		t.Errorf("after compact: %d records %d bytes (was %d bytes)", nrec, nbytes, before)
+	}
+	post := Record{Kind: KindRunning, Job: "j4", Key: "9999aaaa8888bbbb"}
+	if err := w.Append(post); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	w.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("compaction temp file left behind: %v", err)
+	}
+	_, got, stats := openTestWAL(t, path)
+	if stats.TornBytes != 0 {
+		t.Errorf("compacted log has torn bytes: %+v", stats)
+	}
+	if !reflect.DeepEqual(got, append(keep, post)) {
+		t.Errorf("compacted replay mismatch: %+v", got)
+	}
+}
+
+// TestWALRejectsInvalidRecords pins the codec validation surface.
+func TestWALRejectsInvalidRecords(t *testing.T) {
+	w, _, _ := openTestWAL(t, filepath.Join(t.TempDir(), "journal.wal"))
+	defer w.Close()
+	for name, r := range map[string]Record{
+		"zero kind":    {Kind: 0, Job: "j1"},
+		"unknown kind": {Kind: 99, Job: "j1"},
+		"empty job":    {Kind: KindRunning},
+		"huge job":     {Kind: KindRunning, Job: string(bytes.Repeat([]byte("j"), maxJobLen+1))},
+		"huge key":     {Kind: KindRunning, Job: "j1", Key: string(bytes.Repeat([]byte("k"), maxKeyLen+1))},
+	} {
+		if err := w.Append(r); err == nil {
+			t.Errorf("%s: Append accepted invalid record", name)
+		}
+	}
+	if nrec, _ := w.Size(); nrec != 0 {
+		t.Errorf("invalid records were journaled: %d", nrec)
+	}
+}
+
+// TestReduceRecords pins the recovery classification: done jobs are
+// re-advertised, unfinished jobs are pending in submission order, and
+// failed/canceled jobs vanish.
+func TestReduceRecords(t *testing.T) {
+	recs := testRecords()
+	recs = append(recs,
+		Record{Kind: KindSubmitted, Job: "j4", Key: "1212343456567878", Data: []byte("a")},
+		Record{Kind: KindSubmitted, Job: "j5", Key: "abcdefabcdefabcd", Data: []byte("b")},
+		Record{Kind: KindRunning, Job: "j5", Key: "abcdefabcdefabcd"},
+		// A running record with no submitted record (pre-compaction stray)
+		// must not produce a pending job: there is nothing to rebuild from.
+		Record{Kind: KindRunning, Job: "j6", Key: "ffff0000ffff0000"},
+	)
+	rec := reduceRecords(recs)
+	if len(rec.Done) != 1 || rec.Done[0].Job != "j1" || rec.Done[0].Kind != KindDone {
+		t.Errorf("Done = %+v, want j1's done record", rec.Done)
+	}
+	if len(rec.Pending) != 2 || rec.Pending[0].Job != "j4" || rec.Pending[1].Job != "j5" {
+		t.Errorf("Pending = %+v, want j4 then j5", rec.Pending)
+	}
+	for _, p := range rec.Pending {
+		if p.Kind != KindSubmitted || len(p.Data) == 0 {
+			t.Errorf("pending record %+v is not a submitted record with payload", p)
+		}
+	}
+}
