@@ -9,6 +9,9 @@
 //	bench -suite paper                            # full Table-1 + big529 run at paper effort
 //	bench -out BENCH_baseline.json                # (re)generate the CI baseline
 //	bench -compare BENCH_baseline.json            # CI gate: exit 1 on regression
+//	bench -crit-weight 1 -compare BENCH_cur.json -timing-gate
+//	                                              # timing-quality gate: geomean critical
+//	                                              # path must improve at <=5% wall cost
 //	bench -trace run.jsonl                        # also dump the event stream
 package main
 
@@ -37,6 +40,11 @@ func main() {
 		tracePath  = flag.String("trace", "", "also write the collector event stream to this JSONL file")
 		compare    = flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
 		wallTol    = flag.Float64("wall-tol", 0.25, "allowed relative wall-time regression for -compare")
+
+		critWeight  = flag.Float64("crit-weight", 0, "criticality-weighted net-delay cost term (0 = off)")
+		critBias    = flag.Float64("crit-bias", 0, "fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
+		critDamping = flag.Float64("crit-damping", 0, "exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
+		timingGate  = flag.Bool("timing-gate", false, "-compare in timing-quality mode: require geomean critical-path improvement over the baseline at <=5% total wall cost (same-machine baseline)")
 	)
 	flag.Parse()
 
@@ -59,13 +67,41 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*effortFlag, *seed, *designs, *tracks, *chains, *workers, *out, *tracePath, *compare, *wallTol); err != nil {
+	o := runOpts{
+		effortName: *effortFlag, seed: *seed, designCSV: *designs,
+		tracks: *tracks, chains: *chains, workers: *workers,
+		out: *out, tracePath: *tracePath, compare: *compare, wallTol: *wallTol,
+		critWeight: *critWeight, critBias: *critBias, critDamping: *critDamping,
+		timingGate: *timingGate,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(effortName string, seed int64, designCSV string, tracks, chains, workers int, out, tracePath, compare string, wallTol float64) error {
+// runOpts carries the parsed CLI configuration.
+type runOpts struct {
+	effortName  string
+	seed        int64
+	designCSV   string
+	tracks      int
+	chains      int
+	workers     int
+	out         string
+	tracePath   string
+	compare     string
+	wallTol     float64
+	critWeight  float64
+	critBias    float64
+	critDamping float64
+	timingGate  bool
+}
+
+func run(o runOpts) error {
+	effortName, seed, designCSV := o.effortName, o.seed, o.designCSV
+	tracks, chains, workers := o.tracks, o.chains, o.workers
+	out, tracePath, compare, wallTol := o.out, o.tracePath, o.compare, o.wallTol
 	var e exper.Effort
 	switch effortName {
 	case "fast":
@@ -77,6 +113,9 @@ func run(effortName string, seed int64, designCSV string, tracks, chains, worker
 	}
 	e.Chains = chains
 	e.Workers = workers
+	e.CritWeight = o.critWeight
+	e.CritBias = o.critBias
+	e.CritDamping = o.critDamping
 
 	var trace *metrics.Trace
 	if tracePath != "" {
@@ -90,13 +129,16 @@ func run(effortName string, seed int64, designCSV string, tracks, chains, worker
 	}
 
 	rep := &exper.BenchReport{
-		Schema:    exper.BenchSchema,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Effort:    e.Name,
-		Seed:      seed,
-		Tracks:    tracks,
-		Chains:    chains,
+		Schema:      exper.BenchSchema,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Effort:      e.Name,
+		Seed:        seed,
+		Tracks:      tracks,
+		Chains:      chains,
+		CritWeight:  e.CritWeight,
+		CritBias:    e.CritBias,
+		CritDamping: e.CritDamping,
 	}
 	for _, name := range strings.Split(designCSV, ",") {
 		name = strings.TrimSpace(name)
@@ -152,6 +194,9 @@ func run(effortName string, seed int64, designCSV string, tracks, chains, worker
 		}
 		opt := exper.DefaultCompareOptions()
 		opt.WallTol = wallTol
+		if o.timingGate {
+			opt = exper.TimingQualityCompareOptions()
+		}
 		regs, err := exper.CompareBenchReports(base, rep, opt)
 		if err != nil {
 			return err

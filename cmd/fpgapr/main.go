@@ -38,6 +38,11 @@ type options struct {
 	chains      int
 	workers     int
 
+	critWeight   float64
+	critBias     float64
+	critDamping  float64
+	timingDriven bool // sequential flow: criticality-weighted second placement pass
+
 	stats  bool   // print the metrics summary after the run
 	pprofP string // profile path prefix; writes <p>.cpu.pprof and <p>.heap.pprof
 }
@@ -56,6 +61,10 @@ func main() {
 	flag.IntVar(&o.maxFanin, "maxfanin", 0, "technology-map the netlist to this module fanin first (0 = netlist must already be legal)")
 	flag.IntVar(&o.chains, "chains", 1, "simultaneous flow: parallel annealing chains (1 = serial engine)")
 	flag.IntVar(&o.workers, "workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only, never results)")
+	flag.Float64Var(&o.critWeight, "crit-weight", 0, "simultaneous flow: weight of the criticality-weighted net-delay cost term (0 = off)")
+	flag.Float64Var(&o.critBias, "crit-bias", 0, "simultaneous flow: fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
+	flag.Float64Var(&o.critDamping, "crit-damping", 0, "simultaneous flow: exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
+	flag.BoolVar(&o.timingDriven, "timing-driven", false, "sequential flow: run a criticality-weighted second placement pass")
 	flag.BoolVar(&o.stats, "stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
 	flag.StringVar(&o.pprofP, "pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	flag.Parse()
@@ -140,12 +149,19 @@ func run(o options) error {
 			DisableTiming: o.wirability,
 			Chains:        o.chains,
 			Workers:       o.workers,
+			CritWeight:    o.critWeight,
+			CritBias:      o.critBias,
+			CritDamping:   o.critDamping,
 			Metrics:       collectorOrNil(sum),
 		})
 	case "seq":
 		cfg := repro.SeqConfig{Seed: o.seed, Metrics: collectorOrNil(sum)}
 		cfg.Place.MovesPerCell = o.effort
 		cfg.Place.MaxTemps = o.maxTemps
+		if o.timingDriven {
+			cfg.TimingDriven = true
+			cfg.CritWeight = o.critWeight
+		}
 		lay, err = repro.Sequential(a, nl, cfg)
 	default:
 		return fmt.Errorf("unknown -flow %q (want sim or seq)", o.flow)

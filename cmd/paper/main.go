@@ -40,6 +40,9 @@ func main() {
 		design      = flag.String("design", "s1", "design for -figure6 and -runtime")
 		chains      = flag.Int("chains", 1, "parallel annealing chains for the simultaneous flow (1 = serial)")
 		workers     = flag.Int("workers", 0, "max chains stepped concurrently (0 = GOMAXPROCS; scheduling only)")
+		critWeight  = flag.Float64("crit-weight", 0, "criticality-weighted net-delay cost term for the simultaneous flow (0 = off)")
+		critBias    = flag.Float64("crit-bias", 0, "fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
+		critDamping = flag.Float64("crit-damping", 0, "exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
 		stats       = flag.Bool("stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
 		pprofP      = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	)
@@ -59,6 +62,9 @@ func main() {
 	}
 	e.Chains = *chains
 	e.Workers = *workers
+	e.CritWeight = *critWeight
+	e.CritBias = *critBias
+	e.CritDamping = *critDamping
 	if e.Chains > 1 {
 		fmt.Printf("effort: %s (%d parallel chains)\n\n", e.Name, e.Chains)
 	} else {

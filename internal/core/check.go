@@ -113,5 +113,28 @@ func (o *Optimizer) Check() error {
 	if math.Abs(ref.WCD()-o.An.WCD()) > 1e-6 {
 		return fmt.Errorf("core: WCD %v, recompute %v", o.An.WCD(), ref.WCD())
 	}
+
+	// Criticality term: the incrementally maintained per-net max delays and
+	// the weighted sum must agree with a from-scratch recomputation over the
+	// analyzer's committed delays.
+	if o.critOn() {
+		crit := o.crit.Values()
+		sum := 0.0
+		for id := range o.Rts {
+			m := 0.0
+			for _, v := range o.An.NetDelay(int32(id)) {
+				if v > m {
+					m = v
+				}
+			}
+			if math.Abs(m-o.netMaxD[id]) > 1e-9 {
+				return fmt.Errorf("core: net %d max delay cache %v, recompute %v", id, o.netMaxD[id], m)
+			}
+			sum += crit[id] * m
+		}
+		if math.Abs(sum-o.critSum) > 1e-6*(1+math.Abs(sum)) {
+			return fmt.Errorf("core: critSum %v, recompute %v", o.critSum, sum)
+		}
+	}
 	return nil
 }

@@ -28,12 +28,13 @@ func (o *Optimizer) Clone() *Optimizer {
 		An:  o.An.Clone(),
 		cfg: o.cfg,
 
-		g:  o.g,
-		d:  o.d,
-		dc: o.dc,
-		wg: o.wg,
-		wd: o.wd,
-		wt: o.wt,
+		g:   o.g,
+		d:   o.d,
+		dc:  o.dc,
+		wg:  o.wg,
+		wd:  o.wd,
+		wt:  o.wt,
+		wcr: o.wcr,
 
 		netStamp:  make([]uint32, len(o.netStamp)),
 		cellStamp: make([]uint32, len(o.cellStamp)),
@@ -48,6 +49,13 @@ func (o *Optimizer) Clone() *Optimizer {
 	}
 	for id := range o.Rts {
 		c.Rts[id] = o.Rts[id].Clone()
+	}
+	if o.crit != nil {
+		c.crit = o.crit.Clone(c.An)
+		c.netMaxD = append([]float64(nil), o.netMaxD...)
+		c.critSum = o.critSum
+		c.critCells = append(make([]int32, 0, cap(o.critCells)), o.critCells...)
+		c.critStamp = make([]uint32, len(o.critStamp))
 	}
 	return c
 }

@@ -65,6 +65,36 @@ type Config struct {
 	// detailed routing and is ablatable.
 	DCFraction float64
 
+	// CritWeight enables criticality-weighted timing-driven annealing — the
+	// critical-path-aware extension of the paper's single-worst-path T term.
+	// A second timing component, Σ_nets crit(n)·maxSinkDelay(n), joins the
+	// cost with its own adaptively renormalized weight, so moves that slow
+	// many near-critical paths are penalized even while the single worst path
+	// is unchanged. Per-net criticalities are extracted from the incremental
+	// STA once per temperature and exponentially damped (see CritDamping);
+	// the per-move cost of the term is a handful of float ops. CritWeight
+	// scales the term's share of the normalization relative to TimingGamma.
+	// 0 (the default) disables the machinery entirely: no extra state, no
+	// extra RNG draws, bit-identical fixed-seed results for every
+	// pre-existing configuration.
+	CritWeight float64
+
+	// CritDamping is the history weight of the per-temperature criticality
+	// update: crit ← damping·crit + (1-damping)·instantaneous (default 0.6;
+	// negative selects 0, i.e. undamped tracking). Only meaningful with
+	// CritWeight > 0.
+	CritDamping float64
+
+	// CritBias is the fraction of swap moves whose moved cell is drawn from
+	// a near-critical net instead of uniformly, focusing the annealer's
+	// attention where timing is won (default 0.25 with CritWeight on;
+	// negative disables biasing while keeping the cost term).
+	CritBias float64
+
+	// CritThreshold is the damped criticality at or above which a net counts
+	// as near-critical for move biasing (default 0.75).
+	CritThreshold float64
+
 	// RangeLimit enables TimberWolf-style adaptive move-range windows (the
 	// "technical improvements ... for increased speed" direction of the
 	// paper's §5): the swap partner is drawn from a window around the moved
@@ -140,6 +170,29 @@ func (c *Config) setDefaults() {
 	}
 	if c.DisablePinmapMoves {
 		c.PinmapProb = 0
+	}
+	if c.CritWeight < 0 {
+		c.CritWeight = 0
+	}
+	if c.CritWeight > 0 {
+		if c.CritDamping == 0 {
+			c.CritDamping = 0.6
+		}
+		if c.CritDamping < 0 {
+			c.CritDamping = 0
+		}
+		if c.CritBias == 0 {
+			c.CritBias = 0.25
+		}
+		if c.CritBias < 0 {
+			c.CritBias = 0
+		}
+		if c.CritThreshold <= 0 {
+			c.CritThreshold = 0.75
+		}
+		if c.CritThreshold > 1 {
+			c.CritThreshold = 1
+		}
 	}
 }
 
@@ -219,6 +272,18 @@ type Optimizer struct {
 	dcalc    timing.DelayCalc
 	estBuf   []float64
 
+	// Criticality-weighted timing term (CritWeight extension). All nil/zero
+	// when the extension is off; none of it is touched then, keeping the
+	// default path bit-identical to the pre-extension engine.
+	crit      *timing.Criticality
+	netMaxD   []float64 // per net: max sink delay currently in the analyzer
+	critSum   float64   // Σ crit(n)·netMaxD[n], maintained incrementally
+	wcr       float64   // adaptive weight of the criticality term
+	critCells []int32   // cells on near-critical nets (rebuilt per temperature)
+	critStamp []uint32  // per cell: critEpoch when added to critCells
+	critEpoch uint32
+	jCritSum  float64 // journaled critSum (valid during an open move)
+
 	// Adaptive move-range window (RangeLimit extension).
 	window int
 
@@ -293,10 +358,57 @@ func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 		an.Propagate()
 		an.Commit()
 	}
+	if o.critOn() {
+		o.crit = timing.NewCriticality(an, cfg.CritDamping)
+		o.netMaxD = make([]float64, nl.NumNets())
+		o.critCells = make([]int32, 0, nl.NumCells())
+		o.critStamp = make([]uint32, nl.NumCells())
+		o.crit.Update()
+		o.rebuildCritState()
+	}
 	o.refreshWeights()
 	o.lastRt, o.lastSTA = o.F.Stats, o.An.Stats()
 	initDone()
 	return o, nil
+}
+
+// critOn reports whether the criticality-weighted timing term participates in
+// the optimization. It requires the base timing term: criticalities are
+// slack-derived, and without a maintained timing view there are no slacks.
+func (o *Optimizer) critOn() bool { return o.cfg.CritWeight > 0 && o.timingOn() }
+
+// rebuildCritState refreshes the per-net max sink delays, the criticality-
+// weighted delay sum, and the near-critical cell pool from the analyzer's
+// committed state and the current damped criticalities. It runs at
+// construction and at temperature boundaries, never on the per-move path.
+func (o *Optimizer) rebuildCritState() {
+	crit := o.crit.Values()
+	o.critSum = 0
+	o.critCells = o.critCells[:0]
+	o.critEpoch++
+	mark := func(cell int32) {
+		if o.critStamp[cell] != o.critEpoch {
+			o.critStamp[cell] = o.critEpoch
+			o.critCells = append(o.critCells, cell)
+		}
+	}
+	for id := range o.Rts {
+		m := 0.0
+		for _, v := range o.An.NetDelay(int32(id)) {
+			if v > m {
+				m = v
+			}
+		}
+		o.netMaxD[id] = m
+		o.critSum += crit[id] * m
+		if crit[id] >= o.cfg.CritThreshold {
+			net := &o.NL.Nets[id]
+			mark(net.Driver.Cell)
+			for _, s := range net.Sinks {
+				mark(s.Cell)
+			}
+		}
+	}
 }
 
 // timingOn reports whether the timing term participates in the optimization.
@@ -377,6 +489,15 @@ func (o *Optimizer) refreshWeights() {
 		t = 1
 	}
 	o.wt = o.cfg.TimingGamma / t
+	if !o.critOn() {
+		o.wcr = 0
+		return
+	}
+	cs := o.critSum
+	if cs <= 0 {
+		cs = 1
+	}
+	o.wcr = o.cfg.CritWeight * o.cfg.TimingGamma / cs
 }
 
 // Cost implements anneal.Problem. The D term carries a fractional
@@ -385,7 +506,10 @@ func (o *Optimizer) refreshWeights() {
 // full detailed routing that a bare net count lacks.
 func (o *Optimizer) Cost() float64 {
 	d := float64(o.d) + o.cfg.DCFraction*float64(o.dc)
-	return o.wg*float64(o.g) + o.wd*d + o.wt*o.An.WCD()
+	// The criticality term contributes exactly +0.0 when the extension is
+	// off (wcr and critSum are both zero), leaving the float result
+	// bit-identical to the three-term cost.
+	return o.wg*float64(o.g) + o.wd*d + o.wt*o.An.WCD() + o.wcr*o.critSum
 }
 
 // G returns the current number of globally unroutable nets.
@@ -536,6 +660,7 @@ func (o *Optimizer) onTemp(s anneal.TempStats) {
 			GCost:    o.wg * float64(o.g),
 			DCost:    o.wd * (float64(o.d) + o.cfg.DCFraction*float64(o.dc)),
 			TCost:    o.wt * o.An.WCD(),
+			CCost:    o.wcr * o.critSum,
 			WCD:      o.An.WCD(),
 
 			RipUps:          rt.RipUps,
@@ -565,6 +690,13 @@ func (o *Optimizer) onTemp(s anneal.TempStats) {
 	})
 	o.perturbed = 0
 	o.cellEpochBase = o.epoch // invalidate per-temperature cell stamps
+	if o.critOn() {
+		// Fold a fresh slack extraction into the damped criticalities, then
+		// re-anchor the weighted-delay sum and the near-critical cell pool
+		// on the new values. One O(cells + pins) pass per temperature.
+		o.crit.Update()
+		o.rebuildCritState()
+	}
 	o.refreshWeights()
 	if o.cfg.RangeLimit {
 		// Lam-style control: low acceptance means the moves are too

@@ -14,9 +14,10 @@ import (
 // moved (their delays must be refreshed even if the route descriptor ends up
 // bitwise identical, e.g. unrouted before and after).
 type jEntry struct {
-	id     int32
-	old    fabric.NetRoute
-	ripped bool
+	id      int32
+	old     fabric.NetRoute
+	ripped  bool
+	oldMaxD float64 // pre-move worst sink delay (criticality term only)
 }
 
 // Propose implements anneal.Problem: apply one tentative move (cell swap /
@@ -28,6 +29,15 @@ func (o *Optimizer) Propose(rng *rand.Rand) float64 {
 		cell := int32(rng.Intn(o.NL.NumCells()))
 		nv := uint8((int(o.P.Pm[cell]) + 1 + rng.Intn(arch.NumPinmaps-1)) % arch.NumPinmaps)
 		return o.proposePinmap(cell, nv)
+	}
+	// Criticality-directed selection: with probability CritBias draw the swap
+	// source from the cells on near-critical nets instead of uniformly. The
+	// length guard precedes the Float64 draw so the RNG stream is untouched
+	// whenever the extension is off — fixed-seed runs stay bit-identical.
+	if o.cfg.CritBias > 0 && len(o.critCells) > 0 && rng.Float64() < o.cfg.CritBias {
+		cell := o.critCells[rng.Intn(len(o.critCells))]
+		la := o.P.Loc[cell]
+		return o.proposeSwap(la, o.pickPartner(rng, la))
 	}
 	var la layout.Loc
 	for {
@@ -78,6 +88,7 @@ func (o *Optimizer) begin(kind moveKind) float64 {
 	o.epoch++
 	o.journal = o.journal[:0]
 	o.jOldG, o.jOldD, o.jOldDC = o.g, o.d, o.dc
+	o.jCritSum = o.critSum
 	if o.timingOn() {
 		o.An.Begin()
 	}
@@ -128,6 +139,9 @@ func (o *Optimizer) journalNet(id int32, ripped bool) {
 	e.id = id
 	e.ripped = ripped
 	e.old.CopyFrom(&o.Rts[id])
+	if o.netMaxD != nil {
+		e.oldMaxD = o.netMaxD[id]
+	}
 }
 
 // ripCell rips up every net attached to the cell: resources are freed, the
@@ -208,6 +222,11 @@ func (o *Optimizer) rerouteAndTime() {
 	if !o.timingOn() {
 		return
 	}
+	critOn := o.critOn()
+	var cv []float64
+	if critOn {
+		cv = o.crit.Values()
+	}
 	for i := range o.journal {
 		e := &o.journal[i]
 		if len(o.NL.Nets[e.id].Sinks) == 0 {
@@ -221,6 +240,16 @@ func (o *Optimizer) rerouteAndTime() {
 			panic("core: " + err.Error())
 		}
 		o.An.SetNetDelays(e.id, d)
+		if critOn {
+			m := 0.0
+			for _, v := range d {
+				if v > m {
+					m = v
+				}
+			}
+			o.critSum += cv[e.id] * (m - o.netMaxD[e.id])
+			o.netMaxD[e.id] = m
+		}
 	}
 	o.An.Propagate()
 }
@@ -283,5 +312,11 @@ func (o *Optimizer) Reject() {
 		o.P.SetPinmap(o.pmCell, o.pmOld)
 	}
 	o.g, o.d, o.dc = o.jOldG, o.jOldD, o.jOldDC
+	if o.netMaxD != nil {
+		for i := range o.journal {
+			o.netMaxD[o.journal[i].id] = o.journal[i].oldMaxD
+		}
+		o.critSum = o.jCritSum
+	}
 	o.moveKind = moveNone
 }

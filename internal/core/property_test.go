@@ -54,6 +54,22 @@ func TestIncrementalStateAgreesWithRecompute(t *testing.T) {
 			cfg:   Config{DisableTiming: true},
 			seeds: []int64{5, 16},
 		},
+		{
+			name:  "criticality-weighted",
+			arch:  arch.Default(5, 12, 14),
+			comb:  30,
+			seq:   2,
+			cfg:   Config{CritWeight: 1},
+			seeds: []int64{3, 21},
+		},
+		{
+			name:  "criticality-biased-range-limited",
+			arch:  shifted,
+			comb:  22,
+			seq:   3,
+			cfg:   Config{CritWeight: 0.5, CritBias: 0.4, CritThreshold: 0.5, RangeLimit: true},
+			seeds: []int64{9},
+		},
 	}
 
 	const movesPerCheck = 40

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -30,6 +31,13 @@ type BenchReport struct {
 	Tracks    int        `json:"tracks"`
 	Chains    int        `json:"chains"`
 	Rows      []BenchRow `json:"benchmarks"`
+
+	// Criticality-weighted timing term settings the suite ran with (see
+	// core.Config). Zero — and omitted from the JSON — for the default
+	// engine, so pre-extension reports decode and compare unchanged.
+	CritWeight  float64 `json:"crit_weight,omitempty"`
+	CritBias    float64 `json:"crit_bias,omitempty"`
+	CritDamping float64 `json:"crit_damping,omitempty"`
 }
 
 // BenchRow is one benchmark design's result.
@@ -175,6 +183,20 @@ type CompareOptions struct {
 	// flaking the gate on sub-allocation noise.
 	AllocSlack float64
 	BytesSlack float64
+
+	// TimingQuality switches the gate from same-configuration regression
+	// checking to cross-configuration quality comparison: the current report
+	// (typically a criticality-weighted run) must strictly improve the
+	// geometric-mean critical path over the baseline without routing any
+	// worse, at a total wall-time cost of at most WallCostTol. Per-design
+	// layout-hash, critical-path, wall and alloc gates are skipped — the
+	// configurations are *supposed* to differ in results — but
+	// Effort/Seed/Tracks/Chains must still match, and both reports must be
+	// from the same machine for the wall comparison to mean anything.
+	TimingQuality bool
+	// WallCostTol is the allowed relative total wall-time increase in
+	// TimingQuality mode (0.05 = the timing win may cost at most 5% runtime).
+	WallCostTol float64
 }
 
 // DefaultCompareOptions returns the CI gate settings: fail on >25% wall-time
@@ -185,19 +207,39 @@ func DefaultCompareOptions() CompareOptions {
 	return CompareOptions{WallTol: 0.25, WallSlackMS: 250, AllocTol: 0.25, AllocSlack: 2, BytesSlack: 256}
 }
 
+// TimingQualityCompareOptions returns the nightly paper-suite gate settings:
+// the criticality-weighted run must improve geomean critical path at a total
+// wall cost of at most 5% (plus the usual absolute slack for sub-second
+// suites).
+func TimingQualityCompareOptions() CompareOptions {
+	return CompareOptions{TimingQuality: true, WallCostTol: 0.05, WallSlackMS: 250}
+}
+
 // CompareBenchReports checks cur against base and returns one message per
 // regression (empty = gate passes). Quality metrics (unrouted counts,
 // critical path) are deterministic for a fixed configuration, so any
 // worsening at all fails; wall time gets the configured tolerance. Comparing
-// reports from different configurations is itself an error.
+// reports from different configurations is itself an error — except the
+// criticality fields in TimingQuality mode, where differing is the point.
+// Designs present in the baseline but missing from the current report are a
+// hard failure in every mode: suite shrinkage must never mask regressions.
 func CompareBenchReports(base, cur *BenchReport, opt CompareOptions) ([]string, error) {
 	if base.Effort != cur.Effort || base.Seed != cur.Seed || base.Tracks != cur.Tracks || base.Chains != cur.Chains {
 		return nil, fmt.Errorf("bench compare: configuration mismatch (base %s/seed %d/tracks %d/chains %d, current %s/seed %d/tracks %d/chains %d)",
 			base.Effort, base.Seed, base.Tracks, base.Chains, cur.Effort, cur.Seed, cur.Tracks, cur.Chains)
 	}
+	if !opt.TimingQuality &&
+		(base.CritWeight != cur.CritWeight || base.CritBias != cur.CritBias || base.CritDamping != cur.CritDamping) {
+		return nil, fmt.Errorf("bench compare: criticality configuration mismatch (base %g/%g/%g, current %g/%g/%g)",
+			base.CritWeight, base.CritBias, base.CritDamping, cur.CritWeight, cur.CritBias, cur.CritDamping)
+	}
 	baseRows := make(map[string]BenchRow, len(base.Rows))
 	for _, r := range base.Rows {
 		baseRows[r.Design] = r
+	}
+	curRows := make(map[string]BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[r.Design] = r
 	}
 	var regressions []string
 	for _, c := range cur.Rows {
@@ -212,6 +254,13 @@ func CompareBenchReports(base, cur *BenchReport, opt CompareOptions) ([]string, 
 		if c.GUnrouted > b.GUnrouted {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: globally unrouted nets %d -> %d", c.Design, b.GUnrouted, c.GUnrouted))
+		}
+		if opt.TimingQuality {
+			// Cross-configuration comparison: results are expected to
+			// differ, so the per-design hash/critical-path/wall/alloc gates
+			// below do not apply. The routing gates above still do — a
+			// timing win that breaks routability is no win.
+			continue
 		}
 		if c.WCDPs > b.WCDPs {
 			regressions = append(regressions,
@@ -241,16 +290,53 @@ func CompareBenchReports(base, cur *BenchReport, opt CompareOptions) ([]string, 
 		}
 	}
 	for _, b := range base.Rows {
-		found := false
-		for _, c := range cur.Rows {
-			if c.Design == b.Design {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if _, ok := curRows[b.Design]; !ok {
 			regressions = append(regressions, fmt.Sprintf("%s: benchmark missing from current report", b.Design))
 		}
 	}
+	if opt.TimingQuality {
+		regressions = append(regressions, timingQualityGate(base, cur, baseRows, curRows, opt)...)
+	}
 	return regressions, nil
+}
+
+// timingQualityGate is the TimingQuality-mode aggregate check: the current
+// report's geometric-mean critical path over the designs both reports share
+// must strictly improve on the baseline's, at a total wall-time cost of at
+// most WallCostTol (both reports must come from the same machine and run for
+// the wall comparison to hold).
+func timingQualityGate(base, cur *BenchReport, baseRows, curRows map[string]BenchRow, opt CompareOptions) []string {
+	var (
+		logSumBase, logSumCur float64
+		wallBase, wallCur     float64
+		n                     int
+	)
+	for _, b := range base.Rows {
+		c, ok := curRows[b.Design]
+		if !ok || b.WCDPs <= 0 || c.WCDPs <= 0 {
+			continue
+		}
+		logSumBase += math.Log(b.WCDPs)
+		logSumCur += math.Log(c.WCDPs)
+		wallBase += b.WallMS
+		wallCur += c.WallMS
+		n++
+	}
+	if n == 0 {
+		return []string{"timing-quality gate: no comparable designs with positive critical paths"}
+	}
+	var out []string
+	gmBase := math.Exp(logSumBase / float64(n))
+	gmCur := math.Exp(logSumCur / float64(n))
+	if gmCur >= gmBase {
+		out = append(out, fmt.Sprintf(
+			"timing-quality gate: geomean critical path did not improve (%.1f ps -> %.1f ps over %d designs)",
+			gmBase, gmCur, n))
+	}
+	if limit := wallBase*(1+opt.WallCostTol) + opt.WallSlackMS; wallCur > limit {
+		out = append(out, fmt.Sprintf(
+			"timing-quality gate: total wall time %.0f ms -> %.0f ms exceeds the %.0f%% cost budget (limit %.0f ms)",
+			wallBase, wallCur, opt.WallCostTol*100, limit))
+	}
+	return out
 }

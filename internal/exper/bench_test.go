@@ -179,6 +179,152 @@ func TestCompareBenchReports(t *testing.T) {
 			t.Error("seed mismatch accepted")
 		}
 	})
+
+	t.Run("crit configuration mismatch errors in standard mode", func(t *testing.T) {
+		cur := goldenReport()
+		cur.CritWeight = 1
+		if _, err := CompareBenchReports(base, cur, opt); err == nil {
+			t.Error("crit-weight mismatch accepted by the standard gate")
+		}
+	})
+}
+
+// tqReport is a two-design baseline for the timing-quality gate tests.
+func tqReport() *BenchReport {
+	r := goldenReport()
+	second := r.Rows[0]
+	second.Design = "cse"
+	second.WCDPs = 2000
+	second.WallMS = 300
+	r.Rows = append(r.Rows, second)
+	return r
+}
+
+func TestCompareTimingQuality(t *testing.T) {
+	opt := TimingQualityCompareOptions()
+	base := tqReport()
+
+	// critRun mimics a criticality-weighted re-run of the same suite: the
+	// layouts (hence hashes and critical paths) differ by design.
+	critRun := func() *BenchReport {
+		r := tqReport()
+		r.CritWeight, r.CritBias, r.CritDamping = 1, 0.25, 0.6
+		for i := range r.Rows {
+			r.Rows[i].WCDPs *= 0.9
+			r.Rows[i].LayoutHash = "1111111111112233445566778899aabbccddeeff00112233445566778899aabb"
+			r.Rows[i].WallMS *= 1.02
+		}
+		return r
+	}
+
+	t.Run("improvement within wall budget passes", func(t *testing.T) {
+		regs, err := CompareBenchReports(base, critRun(), opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("no geomean improvement fails", func(t *testing.T) {
+		cur := critRun()
+		for i := range cur.Rows {
+			cur.Rows[i].WCDPs = base.Rows[i].WCDPs // equal is not an improvement
+		}
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "geomean") {
+			t.Errorf("got %v, want one geomean regression", regs)
+		}
+	})
+
+	t.Run("one design worse but geomean better still passes", func(t *testing.T) {
+		cur := critRun()
+		cur.Rows[0].WCDPs = base.Rows[0].WCDPs * 1.05
+		cur.Rows[1].WCDPs = base.Rows[1].WCDPs * 0.5
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions (aggregate gate, not per-design)", regs, err)
+		}
+	})
+
+	t.Run("wall cost over budget fails", func(t *testing.T) {
+		cur := critRun()
+		for i := range cur.Rows {
+			cur.Rows[i].WallMS = base.Rows[i].WallMS*1.06 + 300
+		}
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "wall") {
+			t.Errorf("got %v, want one wall-budget regression", regs)
+		}
+	})
+
+	t.Run("routing regression still fails", func(t *testing.T) {
+		cur := critRun()
+		cur.Rows[0].Unrouted = 1
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "unrouted") {
+			t.Errorf("got %v, want one unrouted regression", regs)
+		}
+	})
+
+	t.Run("missing design still fails", func(t *testing.T) {
+		cur := critRun()
+		cur.Rows = cur.Rows[:1]
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, "missing") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("got %v, want a missing-benchmark regression", regs)
+		}
+	})
+
+	t.Run("crit fields may differ without error", func(t *testing.T) {
+		if _, err := CompareBenchReports(base, critRun(), opt); err != nil {
+			t.Errorf("timing-quality compare rejected differing crit configs: %v", err)
+		}
+	})
+
+	t.Run("effort mismatch still errors", func(t *testing.T) {
+		cur := critRun()
+		cur.Effort = "paper"
+		if _, err := CompareBenchReports(base, cur, opt); err == nil {
+			t.Error("effort mismatch accepted in timing-quality mode")
+		}
+	})
+
+	t.Run("no comparable designs fails closed", func(t *testing.T) {
+		cur := critRun()
+		for i := range cur.Rows {
+			cur.Rows[i].WCDPs = 0
+		}
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, "no comparable designs") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("got %v, want a no-comparable-designs failure", regs)
+		}
+	})
 }
 
 // TestRunBenchmarkDeterministicQuality runs the same benchmark twice and

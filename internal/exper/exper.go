@@ -40,6 +40,13 @@ type Effort struct {
 	Chains  int
 	Workers int
 
+	// Criticality-weighted timing term for the simultaneous flow (see
+	// core.Config). All zero — the term off — in both constructors; callers
+	// opt in (cmd/bench -crit-weight, cmd/paper -crit-weight).
+	CritWeight  float64
+	CritBias    float64
+	CritDamping float64
+
 	// Metrics, when non-nil, is threaded into every flow the effort runs
 	// (core and seq). It must be safe for concurrent use: table rows run
 	// concurrently and parallel chains share it.
@@ -139,6 +146,9 @@ func RunSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityO
 		DisableTiming: wirabilityOnly,
 		Chains:        e.Chains,
 		Workers:       e.Workers,
+		CritWeight:    e.CritWeight,
+		CritBias:      e.CritBias,
+		CritDamping:   e.CritDamping,
 		Metrics:       e.Metrics,
 	})
 	if err != nil {

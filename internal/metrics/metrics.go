@@ -69,12 +69,13 @@ type TempRecord struct {
 
 	// Cost decomposition at the temperature boundary (weights as used during
 	// the temperature, before renormalization).
-	G     int     `json:"g"`      // globally unroutable nets
-	D     int     `json:"d"`      // nets lacking a complete detailed route
-	GCost float64 `json:"g_cost"` // weighted G component
-	DCost float64 `json:"d_cost"` // weighted D component
-	TCost float64 `json:"t_cost"` // weighted timing component
-	WCD   float64 `json:"wcd_ps"` // worst-case delay, ps
+	G     int     `json:"g"`                // globally unroutable nets
+	D     int     `json:"d"`                // nets lacking a complete detailed route
+	GCost float64 `json:"g_cost"`           // weighted G component
+	DCost float64 `json:"d_cost"`           // weighted D component
+	TCost float64 `json:"t_cost"`           // weighted timing component
+	CCost float64 `json:"c_cost,omitempty"` // weighted criticality component (0 unless core.Config.CritWeight > 0)
+	WCD   float64 `json:"wcd_ps"`           // worst-case delay, ps
 
 	// Router and timing activity during this temperature (deltas of the
 	// always-on fabric/analyzer counters).

@@ -183,9 +183,12 @@ func criticalityWeights(nl *netlist.Netlist, p *layout.Placement, critWeight flo
 	}
 	an.Propagate()
 	an.Commit()
-	crit := an.NetCriticality(an.WCD())
+	// One shot, no history to damp: the shared extractor with damping 0
+	// yields exactly the instantaneous criticalities.
+	ext := timing.NewCriticality(an, 0)
+	ext.Update()
 	weights := make([]float64, nl.NumNets())
-	for i, c := range crit {
+	for i, c := range ext.Values() {
 		weights[i] = 1 + critWeight*c
 	}
 	return weights, nil

@@ -28,6 +28,7 @@ const (
 	maxChains       = 16
 	maxSyncTemps    = 256
 	maxWorkersCfg   = 64
+	maxCritWeight   = 100
 )
 
 // JobState is a job's position in the lifecycle state machine:
@@ -85,7 +86,16 @@ type JobConfig struct {
 	SyncTemps     int   `json:"sync_temps,omitempty"`
 	RangeLimit    bool  `json:"range_limit,omitempty"`
 	DisableTiming bool  `json:"disable_timing,omitempty"`
+
+	// Criticality-weighted timing term (see core.Config). Result-affecting:
+	// all three participate in the cache key whenever the term is on.
+	CritWeight  float64 `json:"crit_weight,omitempty"`
+	CritBias    float64 `json:"crit_bias,omitempty"`
+	CritDamping float64 `json:"crit_damping,omitempty"`
 }
+
+// critOn reports whether the request enables the criticality extension.
+func (c *JobConfig) critOn() bool { return c.CritWeight > 0 }
 
 // jobSpec is a validated, canonicalized submission: the parsed netlist, its
 // canonical .net serialization, and the deterministic cache key derived from
@@ -195,7 +205,22 @@ func (c *JobConfig) validate() error {
 	if err := check("workers", c.Workers, maxWorkersCfg); err != nil {
 		return err
 	}
-	return check("sync_temps", c.SyncTemps, maxSyncTemps)
+	if err := check("sync_temps", c.SyncTemps, maxSyncTemps); err != nil {
+		return err
+	}
+	if c.CritWeight < 0 || c.CritWeight > maxCritWeight {
+		return fmt.Errorf("config.crit_weight %g out of range [0, %d]", c.CritWeight, maxCritWeight)
+	}
+	if c.CritBias < 0 || c.CritBias > 1 {
+		return fmt.Errorf("config.crit_bias %g out of range [0, 1]", c.CritBias)
+	}
+	if c.CritDamping < 0 || c.CritDamping >= 1 {
+		return fmt.Errorf("config.crit_damping %g out of range [0, 1)", c.CritDamping)
+	}
+	if !c.critOn() && (c.CritBias != 0 || c.CritDamping != 0) {
+		return fmt.Errorf("config.crit_bias/crit_damping require config.crit_weight > 0")
+	}
+	return nil
 }
 
 // cacheKey hashes everything that determines the result bytes: the canonical
@@ -210,6 +235,12 @@ func (s *jobSpec) cacheKey() string {
 	fmt.Fprintf(h, "fpgaprd/v1 tracks=%d seed=%d mpc=%d temps=%d chains=%d sync=%d rl=%t dt=%t\n",
 		s.req.Tracks, c.Seed, c.MovesPerCell, c.MaxTemps, c.Chains, c.SyncTemps,
 		c.RangeLimit, c.DisableTiming)
+	// The criticality line is appended only when the term is on: crit-off
+	// requests produce layouts bit-identical to the pre-extension engine, so
+	// their keys — and any results already cached under them — stay valid.
+	if c.critOn() {
+		fmt.Fprintf(h, "crit=%g bias=%g damp=%g\n", c.CritWeight, c.CritBias, c.CritDamping)
+	}
 	h.Write(s.canon)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -227,6 +258,9 @@ func (s *jobSpec) coreConfig() core.Config {
 		SyncTemps:     c.SyncTemps,
 		RangeLimit:    c.RangeLimit,
 		DisableTiming: c.DisableTiming,
+		CritWeight:    c.CritWeight,
+		CritBias:      c.CritBias,
+		CritDamping:   c.CritDamping,
 	}
 }
 

@@ -58,6 +58,28 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if workers.key != named.key {
 		t.Error("scheduling-only Workers field changed the cache key")
 	}
+
+	// Criticality knobs are result-affecting: enabling the term changes the
+	// key, and every sub-knob feeds it; leaving it off preserves the
+	// pre-extension key so existing cached results stay addressable.
+	crit, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{CritWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit.key == named.key {
+		t.Error("crit_weight did not change the cache key")
+	}
+	critBias, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{CritWeight: 1, CritBias: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	critDamp, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{CritWeight: 1, CritDamping: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if critBias.key == crit.key || critDamp.key == crit.key || critBias.key == critDamp.key {
+		t.Error("crit_bias/crit_damping did not feed the cache key")
+	}
 }
 
 // TestParseJobRequestValidation covers the decoder's reject paths.
@@ -77,6 +99,11 @@ func TestParseJobRequestValidation(t *testing.T) {
 		{"chains high", `{"design":"tiny","config":{"chains":64}}`},
 		{"temps high", `{"design":"tiny","config":{"max_temps":100000}}`},
 		{"unknown field", `{"design":"tiny","nope":true}`},
+		{"crit weight negative", `{"design":"tiny","config":{"crit_weight":-1}}`},
+		{"crit weight high", `{"design":"tiny","config":{"crit_weight":1000}}`},
+		{"crit bias high", `{"design":"tiny","config":{"crit_weight":1,"crit_bias":1.5}}`},
+		{"crit damping 1", `{"design":"tiny","config":{"crit_weight":1,"crit_damping":1}}`},
+		{"crit bias without weight", `{"design":"tiny","config":{"crit_bias":0.5}}`},
 		{"trailing data", `{"design":"tiny"} {"x":1}`},
 		{"not an object", `42`},
 	} {

@@ -1,0 +1,203 @@
+package timing
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netgen"
+)
+
+func critTestAnalyzer(t testing.TB, seed int64) *Analyzer {
+	t.Helper()
+	nl, err := netgen.Generate(netgen.Params{Name: "c", Inputs: 6, Outputs: 5, Seq: 4, Comb: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyzer(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	an.Begin()
+	for id := int32(0); id < int32(nl.NumNets()); id++ {
+		d := make([]float64, len(nl.Nets[id].Sinks))
+		for i := range d {
+			d[i] = rng.Float64() * 2000
+		}
+		an.SetNetDelays(id, d)
+	}
+	an.Propagate()
+	an.Commit()
+	return an
+}
+
+// perturb pushes random delay changes into a random subset of nets.
+func perturb(an *Analyzer, rng *rand.Rand) {
+	an.Begin()
+	for k := 0; k < 1+rng.Intn(5); k++ {
+		id := int32(rng.Intn(an.nl.NumNets()))
+		d := make([]float64, len(an.nl.Nets[id].Sinks))
+		for i := range d {
+			d[i] = rng.Float64() * 2000
+		}
+		an.SetNetDelays(id, d)
+	}
+	an.Propagate()
+	an.Commit()
+}
+
+// TestCriticalityBounds: after any sequence of delay perturbations and damped
+// updates, every criticality lies in [0,1].
+func TestCriticalityBounds(t *testing.T) {
+	check := func(seed int64, dampSel uint8) bool {
+		an := critTestAnalyzer(t, seed)
+		damping := float64(dampSel%10) / 10 // 0.0 .. 0.9
+		c := NewCriticality(an, damping)
+		rng := rand.New(rand.NewSource(seed + 7))
+		for round := 0; round < 8; round++ {
+			c.Update()
+			for i, v := range c.Values() {
+				if v < 0 || v > 1 {
+					t.Logf("seed %d round %d: net %d criticality %v out of [0,1]", seed, round, i, v)
+					return false
+				}
+			}
+			perturb(an, rng)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCriticalityUndampedMatchesNetCriticality: damping 0 tracks the
+// instantaneous extraction exactly.
+func TestCriticalityUndampedMatchesNetCriticality(t *testing.T) {
+	an := critTestAnalyzer(t, 3)
+	c := NewCriticality(an, 0)
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 5; round++ {
+		c.Update()
+		want := an.NetCriticality(an.WCD())
+		for i, v := range c.Values() {
+			if v != want[i] {
+				t.Fatalf("round %d net %d: damped-0 value %v, instantaneous %v", round, i, v, want[i])
+			}
+		}
+		perturb(an, rng)
+	}
+}
+
+// TestCriticalityDampedUpdateMath: each update folds the instantaneous value
+// with exactly crit ← a·crit + (1-a)·inst, primed undamped on the first call.
+func TestCriticalityDampedUpdateMath(t *testing.T) {
+	an := critTestAnalyzer(t, 5)
+	const a = 0.6
+	c := NewCriticality(an, a)
+	rng := rand.New(rand.NewSource(13))
+
+	want := an.NetCriticality(an.WCD()) // first update primes undamped
+	c.Update()
+	for i, v := range c.Values() {
+		if v != want[i] {
+			t.Fatalf("prime: net %d got %v, want %v", i, v, want[i])
+		}
+	}
+	for round := 0; round < 4; round++ {
+		perturb(an, rng)
+		inst := an.NetCriticality(an.WCD())
+		for i := range want {
+			want[i] = a*want[i] + (1-a)*inst[i]
+		}
+		c.Update()
+		for i, v := range c.Values() {
+			if v != want[i] {
+				t.Fatalf("round %d net %d: got %v, want %v", round, i, v, want[i])
+			}
+		}
+	}
+}
+
+// TestCriticalityCloneIndependent: a clone carries the history but evolves
+// independently of the original afterwards.
+func TestCriticalityCloneIndependent(t *testing.T) {
+	an := critTestAnalyzer(t, 9)
+	c := NewCriticality(an, 0.5)
+	c.Update()
+
+	an2 := an.Clone()
+	c2 := c.Clone(an2)
+	before := append([]float64(nil), c.Values()...)
+	for i, v := range c2.Values() {
+		if v != before[i] {
+			t.Fatalf("clone diverged at net %d: %v vs %v", i, v, before[i])
+		}
+	}
+
+	// Perturb only the clone's analyzer and update only the clone.
+	perturb(an2, rand.New(rand.NewSource(2)))
+	c2.Update()
+	for i, v := range c.Values() {
+		if v != before[i] {
+			t.Fatalf("original mutated by clone update at net %d: %v vs %v", i, v, before[i])
+		}
+	}
+}
+
+// TestTopPathsDeterministicAcrossGOMAXPROCS: the top-K path set (including
+// tie-breaks) is a strict total order — identical under any scheduler
+// setting. Run with -race in CI.
+func TestTopPathsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	extract := func(maxprocs int) []Path {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(maxprocs))
+		an := critTestAnalyzer(t, 17)
+		return an.TopPaths(8)
+	}
+	p1 := extract(1)
+	p2 := extract(4)
+	if len(p1) != len(p2) {
+		t.Fatalf("path count diverged: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Arrival != p2[i].Arrival {
+			t.Errorf("path %d arrival diverged: %v vs %v", i, p1[i].Arrival, p2[i].Arrival)
+		}
+		if len(p1[i].Cells) != len(p2[i].Cells) {
+			t.Fatalf("path %d length diverged: %d vs %d", i, len(p1[i].Cells), len(p2[i].Cells))
+		}
+		for j := range p1[i].Cells {
+			if p1[i].Cells[j] != p2[i].Cells[j] {
+				t.Errorf("path %d cell %d diverged: %d vs %d", i, j, p1[i].Cells[j], p2[i].Cells[j])
+			}
+		}
+	}
+}
+
+// TestTopPathsWorstFirstAndPerEndpoint: paths come worst first and each
+// terminates at a distinct endpoint; the worst one matches CriticalPath.
+func TestTopPathsWorstFirstAndPerEndpoint(t *testing.T) {
+	an := critTestAnalyzer(t, 23)
+	paths := an.TopPaths(6)
+	if len(paths) == 0 {
+		t.Fatal("no paths returned")
+	}
+	if paths[0].Arrival != an.WCD() {
+		t.Errorf("worst path arrival %v, WCD %v", paths[0].Arrival, an.WCD())
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Arrival > paths[i-1].Arrival {
+			t.Errorf("paths out of order at %d: %v > %v", i, paths[i].Arrival, paths[i-1].Arrival)
+		}
+	}
+	ends := map[int32]bool{}
+	for _, p := range paths {
+		end := p.Cells[len(p.Cells)-1]
+		if ends[end] {
+			t.Errorf("duplicate endpoint cell %d", end)
+		}
+		ends[end] = true
+	}
+}

@@ -1,0 +1,70 @@
+package timing
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+// FuzzCriticalityUpdate drives the damped criticality extractor with
+// fuzz-chosen delay perturbations and damping, and asserts the invariants the
+// optimizer relies on: every value stays in [0,1], the extraction is
+// deterministic (a second extractor fed the same history agrees exactly), and
+// nothing panics on degenerate delay patterns (all-zero, huge, mixed).
+func FuzzCriticalityUpdate(f *testing.F) {
+	f.Add(uint8(6), []byte{0, 1, 2, 3, 255, 128, 7, 9})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(9), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, dampSel uint8, data []byte) {
+		nl, err := netgen.Generate(netgen.Params{Name: "f", Inputs: 4, Outputs: 3, Seq: 2, Comb: 24, Seed: 51})
+		if err != nil {
+			t.Skip()
+		}
+		an, err := NewAnalyzer(nl)
+		if err != nil {
+			t.Skip()
+		}
+		an2 := an.Clone()
+		damping := float64(dampSel%10) / 10
+		c := NewCriticality(an, damping)
+		c2 := NewCriticality(an2, damping)
+
+		// Consume the fuzz bytes as a stream of (net, delay-scale) updates,
+		// folding an Update every few writes.
+		d := make([]float64, 0, 8)
+		for len(data) >= 3 {
+			id := int32(binary.LittleEndian.Uint16(data)) % int32(nl.NumNets())
+			scale := float64(data[2]) * 37.5 // 0 .. ~9.5k ps
+			data = data[3:]
+			sinks := len(nl.Nets[id].Sinks)
+			if sinks == 0 {
+				continue
+			}
+			d = d[:0]
+			for i := 0; i < sinks; i++ {
+				d = append(d, scale*float64(i+1))
+			}
+			an.Begin()
+			an.SetNetDelays(id, d)
+			an.Propagate()
+			an.Commit()
+			an2.Begin()
+			an2.SetNetDelays(id, d)
+			an2.Propagate()
+			an2.Commit()
+
+			c.Update()
+			c2.Update()
+			for i, v := range c.Values() {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("net %d criticality %v out of [0,1]", i, v)
+				}
+				if v != c2.Value(int32(i)) {
+					t.Fatalf("net %d: extractors diverged %v vs %v", i, v, c2.Value(int32(i)))
+				}
+			}
+		}
+	})
+}

@@ -21,11 +21,24 @@ type SlackReport struct {
 func (t *Analyzer) Slacks(target float64) SlackReport {
 	n := len(t.nl.Cells)
 	reqOut := make([]float64, n)
+	t.requiredInto(reqOut, target)
+	rep := SlackReport{Target: target, Slack: make([]float64, n)}
+	for i := range rep.Slack {
+		rep.Slack[i] = reqOut[i] - t.arr[i]
+	}
+	return rep
+}
+
+// requiredInto fills reqOut (one entry per cell) with required output times
+// against target via a backward pass in reverse level order. Cells whose
+// output reaches no timing sink get +Inf. Allocation-free; shared by Slacks,
+// NetCriticality and the damped Criticality extractor.
+func (t *Analyzer) requiredInto(reqOut []float64, target float64) {
 	for i := range reqOut {
 		reqOut[i] = math.Inf(1)
 	}
 	// Walk cells in reverse level order; boundary sink pins require target.
-	for i := n - 1; i >= 0; i-- {
+	for i := len(reqOut) - 1; i >= 0; i-- {
 		cell := t.order[i]
 		c := &t.nl.Cells[cell]
 		// Required at this cell's input pins.
@@ -50,11 +63,6 @@ func (t *Analyzer) Slacks(target float64) SlackReport {
 			}
 		}
 	}
-	rep := SlackReport{Target: target, Slack: make([]float64, n)}
-	for i := range rep.Slack {
-		rep.Slack[i] = reqOut[i] - t.arr[i]
-	}
-	return rep
 }
 
 // NetCriticality returns, per net, 1 - slack/target clamped to [0,1]: 1 for
@@ -62,8 +70,17 @@ func (t *Analyzer) Slacks(target float64) SlackReport {
 // slack of a net is the minimum over its sink pins of
 // required(pin) - arrival(pin).
 func (t *Analyzer) NetCriticality(target float64) []float64 {
-	rep := t.Slacks(target)
 	out := make([]float64, t.nl.NumNets())
+	reqOut := make([]float64, len(t.nl.Cells))
+	t.netCriticalityInto(out, reqOut, target)
+	return out
+}
+
+// netCriticalityInto is the allocation-free core of NetCriticality: out gets
+// one criticality per net, reqOut is per-cell scratch (both must be sized by
+// the caller).
+func (t *Analyzer) netCriticalityInto(out, reqOut []float64, target float64) {
+	t.requiredInto(reqOut, target)
 	for i := range t.nl.Nets {
 		n := &t.nl.Nets[i]
 		minSlack := math.Inf(1)
@@ -76,7 +93,7 @@ func (t *Analyzer) NetCriticality(target float64) []float64 {
 			case netlist.Output, netlist.Seq:
 				reqIn = target
 			default:
-				reqIn = rep.Slack[s.Cell] + t.arr[s.Cell] - c.Delay
+				reqIn = reqOut[s.Cell] - c.Delay
 			}
 			arrAtPin := t.arr[n.Driver.Cell] + t.netDelay[i][si]
 			if sl := reqIn - arrAtPin; sl < minSlack {
@@ -96,7 +113,6 @@ func (t *Analyzer) NetCriticality(target float64) []float64 {
 		}
 		out[i] = crit
 	}
-	return out
 }
 
 // Path is one register-to-register (or pad-to-pad) timing path.
@@ -106,7 +122,9 @@ type Path struct {
 }
 
 // TopPaths returns up to k paths, worst first, one per distinct terminating
-// sink pin (the classic per-endpoint view of critical paths).
+// sink pin (the classic per-endpoint view of critical paths). Ties on the
+// arrival time break on (cell, pin), so the returned path set is a strict
+// total order — identical on every machine and GOMAXPROCS setting.
 func (t *Analyzer) TopPaths(k int) []Path {
 	type endpoint struct {
 		pin netlist.PinRef
@@ -116,7 +134,15 @@ func (t *Analyzer) TopPaths(k int) []Path {
 	for _, p := range t.sinkPins {
 		eps = append(eps, endpoint{pin: p, arr: t.pinArrival(p)})
 	}
-	sort.Slice(eps, func(i, j int) bool { return eps[i].arr > eps[j].arr })
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].arr != eps[j].arr {
+			return eps[i].arr > eps[j].arr
+		}
+		if eps[i].pin.Cell != eps[j].pin.Cell {
+			return eps[i].pin.Cell < eps[j].pin.Cell
+		}
+		return eps[i].pin.Pin < eps[j].pin.Pin
+	})
 	if k > len(eps) {
 		k = len(eps)
 	}
