@@ -1,13 +1,16 @@
 // Command fpgaprd is the place-and-route job service daemon: the
 // simultaneous place-and-route optimizer behind an HTTP/JSON API with a
-// bounded job queue, a fixed worker pool, cancellation, a deterministic
-// result cache, and per-temperature progress streaming over SSE.
+// priority/fairness job scheduler, an in-process worker pool, cancellation, a
+// deterministic result cache, and per-temperature progress streaming over
+// SSE. It doubles as the coordinator of a worker fleet: external fpgaprw
+// processes lease jobs from it over /v1/fleet/ and stream results back.
 //
 // Usage:
 //
 //	fpgaprd                              # serve on :8080 with 2 workers, in-memory only
 //	fpgaprd -addr :9000 -workers 4 -queue 32
 //	fpgaprd -data-dir /var/lib/fpgaprd   # durable: WAL journal + disk layout cache
+//	fpgaprd -workers 0                   # pure coordinator: fpgaprw workers do all runs
 //
 // With -data-dir, submissions are journaled before they are enqueued and
 // finished layouts are written to a content-addressed disk cache (bounded by
@@ -43,7 +46,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "concurrent optimizer runs")
+		workers = flag.Int("workers", 2, "in-process optimizer runs (0 = pure coordinator, fleet workers only)")
 		queue   = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
 		cache   = flag.Int("cache", 128, "deterministic result cache entries")
 		maxJobs = flag.Int("max-jobs", 512, "retained job records (oldest terminal evicted)")
@@ -56,16 +59,27 @@ func main() {
 		ratePerSec  = flag.Float64("rate-per-client", 0, "per-client job submissions per second (0 = unlimited)")
 		rateBurst   = flag.Int("rate-burst", 8, "per-client token-bucket burst")
 		maxInflight = flag.Int("max-inflight", 0, "per-client cap on live (queued+running) jobs (0 = unlimited)")
+
+		leaseTTL = flag.Duration("lease-ttl", 0,
+			"fleet lease heartbeat budget before a worker's job is re-enqueued (0 = default 15s)")
+		agingStep = flag.Duration("aging-step", 0,
+			"queue wait per one-class priority promotion (0 = default 30s, negative disables)")
 	)
 	flag.Parse()
+	nWorkers := *workers
+	if nWorkers == 0 {
+		nWorkers = -1 // CLI 0 means coordinator-only; Config 0 means default
+	}
 	cfg := server.Config{
-		Workers:      *workers,
+		Workers:      nWorkers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		MaxJobs:      *maxJobs,
 		RatePerSec:   *ratePerSec,
 		RateBurst:    *rateBurst,
 		MaxInflight:  *maxInflight,
+		LeaseTTL:     *leaseTTL,
+		AgingStep:    *agingStep,
 	}
 	if err := run(*addr, cfg, *dataDir, *diskCacheBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgaprd:", err)
@@ -94,7 +108,11 @@ func run(addr string, cfg server.Config, dataDir string, diskCacheBytes int64) e
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fpgaprd: serving on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueDepth)
+		if cfg.Workers < 0 {
+			log.Printf("fpgaprd: serving on %s (coordinator-only, queue %d)", addr, cfg.QueueDepth)
+		} else {
+			log.Printf("fpgaprd: serving on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueDepth)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// newLike returns a fresh zero value of the same message type as m.
+func newLike(m Message) Message {
+	return reflect.New(reflect.TypeOf(m).Elem()).Interface().(Message)
+}
+
+// FuzzLeaseProtocol hammers the fleet wire codec with arbitrary bytes against
+// every message type: decoding must never panic, and any input a type
+// accepts must survive a canonical round trip — re-marshaling the decoded
+// value, decoding that, and marshaling again yields identical bytes. (The
+// comparison is marshal-of-decode vs marshal-of-decode-of-marshal rather
+// than input vs re-marshal because strict decoding still admits cosmetic
+// variation — field order, whitespace inside RawMessage payloads — that the
+// first marshal canonicalizes away.)
+func FuzzLeaseProtocol(f *testing.F) {
+	for _, m := range validMessages() {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"worker_id":"w1","status":"done","layout":"bm90IGI2NA=="}`))
+	f.Add([]byte(`{"worker_id":"w1","progress":[{"type":"temp","temp":{}}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0xff, 0xfe})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, proto := range validMessages() {
+			m := newLike(proto)
+			if err := UnmarshalMessage(data, m); err != nil {
+				continue // rejected input: only the no-panic property applies
+			}
+			gen2, err := json.Marshal(m)
+			if err != nil {
+				t.Fatalf("%T accepted %q but won't re-marshal: %v", m, data, err)
+			}
+			again := newLike(proto)
+			if err := UnmarshalMessage(gen2, again); err != nil {
+				t.Fatalf("%T re-decode of own marshal %q failed: %v", m, gen2, err)
+			}
+			gen3, err := json.Marshal(again)
+			if err != nil {
+				t.Fatalf("%T re-marshal failed: %v", m, err)
+			}
+			if !bytes.Equal(gen2, gen3) {
+				t.Fatalf("%T round trip not canonical:\n gen2 %s\n gen3 %s", m, gen2, gen3)
+			}
+		}
+	})
+}

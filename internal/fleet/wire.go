@@ -1,0 +1,249 @@
+// The coordinator ↔ worker wire protocol: five HTTP/JSON exchanges.
+//
+//	POST /v1/fleet/workers              RegisterRequest  → RegisterResponse
+//	POST /v1/fleet/workers/{id}/drain   (empty)          → 200
+//	POST /v1/fleet/lease                LeaseRequest     → LeaseGrant | 204 no work | 409 draining
+//	POST /v1/fleet/leases/{id}/heartbeat HeartbeatRequest → HeartbeatResponse | 410 lease lost
+//	POST /v1/fleet/leases/{id}/complete CompleteRequest  → 200 | 410 stale lease
+//
+// Every message decodes strictly (unknown fields and trailing data are
+// errors) and validates its invariants; FuzzLeaseProtocol holds the codec to
+// never-panic plus canonical round-trip. Job payloads (Spec) and result
+// stats travel as opaque JSON so this package stays independent of the
+// server's request schema.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Wire bounds: hostile or corrupt messages must not cost unbounded memory
+// or smuggle unvalidatable garbage past the handlers.
+const (
+	maxNameLen  = 128
+	maxErrorLen = 4096
+	// MaxWaitMS caps a lease long-poll.
+	MaxWaitMS = 60_000
+)
+
+// Message is any wire message: strict decoding via UnmarshalMessage ends
+// with the message validating its own invariants.
+type Message interface{ Validate() error }
+
+// UnmarshalMessage strictly decodes one wire message: unknown fields,
+// trailing data and invariant violations are all errors.
+func UnmarshalMessage(data []byte, v Message) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("fleet: decode %T: %w", v, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("fleet: decode %T: trailing data after message", v)
+	}
+	return v.Validate()
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's self-chosen display name (hostname, usually).
+	Name string `json:"name"`
+}
+
+func (m *RegisterRequest) Validate() error {
+	if m.Name == "" || len(m.Name) > maxNameLen {
+		return fmt.Errorf("fleet: worker name length %d out of range [1, %d]", len(m.Name), maxNameLen)
+	}
+	return nil
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is how long a lease survives without a heartbeat.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is the renewal cadence the coordinator wants (a fraction
+	// of the TTL, so several beats can be lost before the lease expires).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+func (m *RegisterResponse) Validate() error {
+	if m.WorkerID == "" || len(m.WorkerID) > maxNameLen {
+		return fmt.Errorf("fleet: worker id length %d out of range [1, %d]", len(m.WorkerID), maxNameLen)
+	}
+	if m.LeaseTTLMS <= 0 || m.HeartbeatMS <= 0 {
+		return fmt.Errorf("fleet: non-positive lease ttl %d / heartbeat %d", m.LeaseTTLMS, m.HeartbeatMS)
+	}
+	return nil
+}
+
+// LeaseRequest asks for one job. WaitMS > 0 long-polls: the coordinator
+// holds the request open up to that long waiting for work before answering
+// 204.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMS   int64  `json:"wait_ms,omitempty"`
+}
+
+func (m *LeaseRequest) Validate() error {
+	if m.WorkerID == "" || len(m.WorkerID) > maxNameLen {
+		return fmt.Errorf("fleet: worker id length %d out of range [1, %d]", len(m.WorkerID), maxNameLen)
+	}
+	if m.WaitMS < 0 || m.WaitMS > MaxWaitMS {
+		return fmt.Errorf("fleet: wait_ms %d out of range [0, %d]", m.WaitMS, MaxWaitMS)
+	}
+	return nil
+}
+
+// LeaseGrant checks one job out to the worker. Spec is the coordinator's
+// validated job request, opaque to this layer; the worker hands it to its
+// Executor verbatim.
+type LeaseGrant struct {
+	LeaseID string          `json:"lease_id"`
+	JobID   string          `json:"job_id"`
+	Key     string          `json:"key"`
+	Spec    json.RawMessage `json:"spec"`
+	TTLMS   int64           `json:"ttl_ms"`
+}
+
+func (m *LeaseGrant) Validate() error {
+	if m.LeaseID == "" || m.JobID == "" {
+		return fmt.Errorf("fleet: lease grant missing lease_id/job_id")
+	}
+	if len(m.Spec) == 0 || !json.Valid(m.Spec) {
+		return fmt.Errorf("fleet: lease grant spec is not valid JSON")
+	}
+	if m.TTLMS <= 0 {
+		return fmt.Errorf("fleet: lease grant ttl %d must be positive", m.TTLMS)
+	}
+	return nil
+}
+
+// ProgressEvent is one optimizer progress record in flight from worker to
+// coordinator (batched on heartbeats and the final complete), mirroring the
+// coordinator's SSE event types so /events streams keep working when the
+// run happens on another machine.
+type ProgressEvent struct {
+	Type  string               `json:"type"` // temp | phase | chain
+	Temp  *metrics.TempRecord  `json:"temp,omitempty"`
+	Phase *PhaseProgress       `json:"phase,omitempty"`
+	Chain *metrics.ChainRecord `json:"chain,omitempty"`
+}
+
+// PhaseProgress reports one finished flow phase.
+type PhaseProgress struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+func (m *ProgressEvent) Validate() error {
+	var own bool
+	switch m.Type {
+	case "temp":
+		own = m.Temp != nil
+	case "phase":
+		own = m.Phase != nil
+	case "chain":
+		own = m.Chain != nil
+	default:
+		return fmt.Errorf("fleet: unknown progress event type %q", m.Type)
+	}
+	set := 0
+	for _, p := range []bool{m.Temp != nil, m.Phase != nil, m.Chain != nil} {
+		if p {
+			set++
+		}
+	}
+	if !own || set != 1 {
+		return fmt.Errorf("fleet: progress event %q must set exactly its own payload", m.Type)
+	}
+	return nil
+}
+
+// HeartbeatRequest renews a lease and ships buffered progress.
+type HeartbeatRequest struct {
+	WorkerID string          `json:"worker_id"`
+	Progress []ProgressEvent `json:"progress,omitempty"`
+}
+
+func (m *HeartbeatRequest) Validate() error {
+	if m.WorkerID == "" || len(m.WorkerID) > maxNameLen {
+		return fmt.Errorf("fleet: worker id length %d out of range [1, %d]", len(m.WorkerID), maxNameLen)
+	}
+	for i := range m.Progress {
+		if err := m.Progress[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeartbeatResponse acknowledges a renewal. Cancel tells the worker the job
+// was canceled client-side: stop at the next boundary and complete with
+// status canceled.
+type HeartbeatResponse struct {
+	Cancel bool  `json:"cancel,omitempty"`
+	TTLMS  int64 `json:"ttl_ms"`
+}
+
+func (m *HeartbeatResponse) Validate() error {
+	if m.TTLMS <= 0 {
+		return fmt.Errorf("fleet: heartbeat ack ttl %d must be positive", m.TTLMS)
+	}
+	return nil
+}
+
+// Completion statuses.
+const (
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// CompleteRequest retires a lease with the job's outcome. Layout carries the
+// serialized result for done jobs (base64 over the wire via encoding/json);
+// Stats is the run's quality report, opaque JSON to this layer. Progress
+// carries any records buffered since the last heartbeat so the event stream
+// ends complete.
+type CompleteRequest struct {
+	WorkerID string          `json:"worker_id"`
+	Status   string          `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Layout   []byte          `json:"layout,omitempty"`
+	Stats    json.RawMessage `json:"stats,omitempty"`
+	Progress []ProgressEvent `json:"progress,omitempty"`
+}
+
+func (m *CompleteRequest) Validate() error {
+	if m.WorkerID == "" || len(m.WorkerID) > maxNameLen {
+		return fmt.Errorf("fleet: worker id length %d out of range [1, %d]", len(m.WorkerID), maxNameLen)
+	}
+	switch m.Status {
+	case StatusDone:
+		if len(m.Layout) == 0 {
+			return fmt.Errorf("fleet: done completion carries no layout")
+		}
+	case StatusFailed, StatusCanceled:
+		if len(m.Layout) != 0 {
+			return fmt.Errorf("fleet: %s completion must not carry a layout", m.Status)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown completion status %q", m.Status)
+	}
+	if len(m.Error) > maxErrorLen {
+		return fmt.Errorf("fleet: completion error length %d exceeds %d", len(m.Error), maxErrorLen)
+	}
+	if len(m.Stats) > 0 && !json.Valid(m.Stats) {
+		return fmt.Errorf("fleet: completion stats is not valid JSON")
+	}
+	for i := range m.Progress {
+		if err := m.Progress[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

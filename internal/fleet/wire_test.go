@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// validMessages is one well-formed instance of every wire message; the fuzz
+// seed corpus and the strictness tests share it.
+func validMessages() []Message {
+	return []Message{
+		&RegisterRequest{Name: "worker-7"},
+		&RegisterResponse{WorkerID: "w1", LeaseTTLMS: 15000, HeartbeatMS: 5000},
+		&LeaseRequest{WorkerID: "w1", WaitMS: 2000},
+		&LeaseGrant{LeaseID: "l1", JobID: "j1", Key: "abc123",
+			Spec: json.RawMessage(`{"design":"tiny"}`), TTLMS: 15000},
+		&HeartbeatRequest{WorkerID: "w1", Progress: []ProgressEvent{
+			{Type: "temp", Temp: &metrics.TempRecord{Temp: 3.5, Cost: 120}},
+			{Type: "phase", Phase: &PhaseProgress{Name: "anneal", ElapsedNS: 12345}},
+			{Type: "chain", Chain: &metrics.ChainRecord{Chain: 1}},
+		}},
+		&HeartbeatResponse{Cancel: true, TTLMS: 15000},
+		&CompleteRequest{WorkerID: "w1", Status: StatusDone,
+			Layout: []byte("layout bytes"), Stats: json.RawMessage(`{"temps":9}`)},
+		&CompleteRequest{WorkerID: "w1", Status: StatusFailed, Error: "boom"},
+		&CompleteRequest{WorkerID: "w1", Status: StatusCanceled},
+	}
+}
+
+// TestWireRoundTrip: every valid message survives marshal → strict decode.
+func TestWireRoundTrip(t *testing.T) {
+	for _, m := range validMessages() {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", m, err)
+		}
+		fresh := newLike(m)
+		if err := UnmarshalMessage(data, fresh); err != nil {
+			t.Errorf("round trip %T (%s): %v", m, data, err)
+		}
+	}
+}
+
+// TestWireStrictness: unknown fields, trailing data and malformed JSON are
+// all rejected.
+func TestWireStrictness(t *testing.T) {
+	cases := []string{
+		`{"name":"w","bonus":1}`, // unknown field
+		`{"name":"w"} {}`,        // trailing data
+		`{"name":"w"`,            // truncated
+		`[]`,                     // wrong shape
+	}
+	for _, c := range cases {
+		if err := UnmarshalMessage([]byte(c), &RegisterRequest{}); err == nil {
+			t.Errorf("strict decode accepted %q", c)
+		}
+	}
+}
+
+// TestWireValidation: each message's invariants reject the obvious abuses.
+func TestWireValidation(t *testing.T) {
+	long := strings.Repeat("x", maxNameLen+1)
+	cases := []struct {
+		name string
+		m    Message
+	}{
+		{"empty worker name", &RegisterRequest{}},
+		{"oversized worker name", &RegisterRequest{Name: long}},
+		{"zero ttl", &RegisterResponse{WorkerID: "w1", HeartbeatMS: 1}},
+		{"negative wait", &LeaseRequest{WorkerID: "w1", WaitMS: -1}},
+		{"wait beyond cap", &LeaseRequest{WorkerID: "w1", WaitMS: MaxWaitMS + 1}},
+		{"grant without spec", &LeaseGrant{LeaseID: "l1", JobID: "j1", TTLMS: 1}},
+		{"grant with invalid spec", &LeaseGrant{LeaseID: "l1", JobID: "j1",
+			Spec: json.RawMessage(`{`), TTLMS: 1}},
+		{"unknown progress type", &HeartbeatRequest{WorkerID: "w1",
+			Progress: []ProgressEvent{{Type: "vibe"}}}},
+		{"progress payload mismatch", &HeartbeatRequest{WorkerID: "w1",
+			Progress: []ProgressEvent{{Type: "temp", Phase: &PhaseProgress{Name: "p"}}}}},
+		{"progress double payload", &HeartbeatRequest{WorkerID: "w1",
+			Progress: []ProgressEvent{{Type: "temp",
+				Temp: &metrics.TempRecord{}, Chain: &metrics.ChainRecord{}}}}},
+		{"zero heartbeat ttl", &HeartbeatResponse{}},
+		{"unknown status", &CompleteRequest{WorkerID: "w1", Status: "maybe"}},
+		{"done without layout", &CompleteRequest{WorkerID: "w1", Status: StatusDone}},
+		{"failed with layout", &CompleteRequest{WorkerID: "w1", Status: StatusFailed,
+			Layout: []byte("x")}},
+		{"oversized error", &CompleteRequest{WorkerID: "w1", Status: StatusFailed,
+			Error: strings.Repeat("e", maxErrorLen+1)}},
+		{"invalid stats json", &CompleteRequest{WorkerID: "w1", Status: StatusDone,
+			Layout: []byte("x"), Stats: json.RawMessage(`{`)}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.m)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// The worker-side executor: the same validate → architect → anneal → route →
+// serialize flow the in-process pool runs, packaged behind the fleet.Executor
+// signature so cmd/fpgaprw (and the e2e harnesses) can run leased jobs in
+// another process. Determinism is what makes the whole lease protocol sound:
+// given the same spec, this function produces bit-identical layout bytes on
+// any worker.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// FleetExecutor returns the executor an fpgaprw worker plugs into its lease
+// loop: it parses the coordinator's spec with the exact validation the submit
+// path used, runs the optimizer, and reports the layout plus a JobStats JSON
+// document as the completion stats.
+func FleetExecutor() fleet.Executor {
+	return func(specJSON json.RawMessage, cancel <-chan struct{}, progress metrics.Collector) (fleet.ExecResult, error) {
+		spec, err := parseJobRequest(specJSON)
+		if err != nil {
+			return fleet.ExecResult{}, fmt.Errorf("leased spec: %w", err)
+		}
+		start := time.Now()
+		res, layoutText, err := executeJob(spec, cancel, progress)
+		if err != nil {
+			return fleet.ExecResult{}, err
+		}
+		if res.Cancelled {
+			return fleet.ExecResult{Canceled: true}, nil
+		}
+		stats, err := json.Marshal(JobStats{
+			FullyRouted: res.FullyRouted,
+			Unrouted:    res.D,
+			GUnrouted:   res.G,
+			WCDPs:       res.WCD,
+			FinalCost:   res.FinalCost,
+			Temps:       res.Anneal.Temps,
+			Moves:       res.Anneal.TotalMoves,
+			Restarts:    res.Restarts,
+			WallMS:      float64(time.Since(start)) / float64(time.Millisecond),
+		})
+		if err != nil {
+			return fleet.ExecResult{}, fmt.Errorf("marshal stats: %w", err)
+		}
+		return fleet.ExecResult{Layout: layoutText, Stats: stats}, nil
+	}
+}

@@ -1,0 +1,318 @@
+// The coordinator side of the fleet work-dispatch protocol: external fpgaprw
+// worker processes register here, lease jobs out of the shared scheduler,
+// heartbeat to keep their leases alive (shipping buffered optimizer progress
+// with every beat, so SSE subscribers follow remote runs exactly as local
+// ones), and complete them back into the result cache and the WAL. A lease
+// that misses its heartbeats is harvested by the janitor and its job
+// re-enqueued at the front of the queue — deterministic runs make the retry
+// idempotent, so whichever worker finishes produces bit-identical bytes.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/store"
+)
+
+// Fleet request-body caps: control messages are small; only a completion may
+// carry a layout blob.
+const (
+	maxFleetBodyBytes    = 1 << 20  // register / lease / drain
+	maxCompleteBodyBytes = 64 << 20 // heartbeat progress batches and completions
+)
+
+// readFleetMessage reads and strictly decodes one fleet wire message,
+// answering 400 itself on failure.
+func readFleetMessage(w http.ResponseWriter, r *http.Request, limit int64, m fleet.Message) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return false
+	}
+	if err := fleet.UnmarshalMessage(body, m); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	return true
+}
+
+// handleFleetRegister implements POST /v1/fleet/workers.
+func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
+	var req fleet.RegisterRequest
+	if !readFleetMessage(w, r, maxFleetBodyBytes, &req) {
+		return
+	}
+	info := s.registry.Register(req.Name)
+	ttl := s.leases.TTL()
+	hb := ttl / 3
+	if hb < time.Millisecond {
+		hb = time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fleet.RegisterResponse{
+		WorkerID:    info.ID,
+		LeaseTTLMS:  ttl.Milliseconds(),
+		HeartbeatMS: hb.Milliseconds(),
+	})
+}
+
+// handleFleetDrain implements POST /v1/fleet/workers/{id}/drain: the worker
+// keeps its active leases but is refused new ones.
+func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Drain(id) {
+		httpError(w, http.StatusNotFound, "unknown worker %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]string{"worker_id": id, "state": "draining"})
+}
+
+// handleFleetLease implements POST /v1/fleet/lease: check the next scheduled
+// job out to the worker, long-polling up to WaitMS when the queue is empty.
+// 204 = no work within the window; 409 = the worker is draining.
+func (s *Server) handleFleetLease(w http.ResponseWriter, r *http.Request) {
+	var req fleet.LeaseRequest
+	if !readFleetMessage(w, r, maxFleetBodyBytes, &req) {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(req.WaitMS) * time.Millisecond)
+	for {
+		info, ok := s.registry.Get(req.WorkerID)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown worker %q", req.WorkerID)
+			return
+		}
+		if info.Draining {
+			httpError(w, http.StatusConflict, "worker %q is draining", req.WorkerID)
+			return
+		}
+		s.registry.Touch(req.WorkerID)
+		// Snapshot the wake channel before polling so an enqueue racing the
+		// failed TryDequeue still wakes the wait below.
+		wake := s.sched.WakeChan()
+		if j, ok := s.sched.TryDequeue(); ok {
+			if !j.beginRunning() {
+				continue // canceled while queued; try the next job
+			}
+			s.journal(store.Record{Kind: store.KindRunning, Job: j.ID, Key: j.Key})
+			atomic.AddInt64(&s.runs, 1)
+			lease := s.leases.Grant(j.ID, req.WorkerID)
+			spec, err := json.Marshal(j.spec.req)
+			if err != nil {
+				// Unserializable spec (cannot happen for a validated request):
+				// surface it as a failed job rather than wedging the lease.
+				s.leases.Complete(lease.ID)
+				s.finishJobFailed(j, "serialize spec for lease: "+err.Error())
+				httpError(w, http.StatusInternalServerError, "serialize spec: %v", err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, fleet.LeaseGrant{
+				LeaseID: lease.ID,
+				JobID:   j.ID,
+				Key:     j.Key,
+				Spec:    spec,
+				TTLMS:   s.leases.TTL().Milliseconds(),
+			})
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-s.quit:
+			t.Stop()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}
+
+// handleFleetHeartbeat implements POST /v1/fleet/leases/{id}/heartbeat: renew
+// the lease, bridge the shipped progress into the job's event stream, and
+// tell the worker whether the job was canceled client-side. 410 = the lease
+// already expired (or completed) — the worker should stop.
+func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req fleet.HeartbeatRequest
+	if !readFleetMessage(w, r, maxCompleteBodyBytes, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	lease, ok := s.leases.Renew(id)
+	if !ok {
+		httpError(w, http.StatusGone, "lease %q is no longer held", id)
+		return
+	}
+	s.registry.Touch(req.WorkerID)
+	cancel := false
+	if j, ok := s.lookup(lease.Job); ok {
+		applyProgress(j, req.Progress)
+		cancel = j.cancelRequested()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fleet.HeartbeatResponse{Cancel: cancel, TTLMS: s.leases.TTL().Milliseconds()})
+}
+
+// handleFleetComplete implements POST /v1/fleet/leases/{id}/complete: retire
+// the lease and move its job terminal. Completing the lease is the
+// exactly-once gate — a late completion from a worker whose lease expired
+// finds it gone and is answered 410, so only one worker ever publishes a
+// job's result (and the blob lands in the content-addressed store once).
+func (s *Server) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
+	var req fleet.CompleteRequest
+	if !readFleetMessage(w, r, maxCompleteBodyBytes, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	lease, ok := s.leases.Complete(id)
+	if !ok {
+		httpError(w, http.StatusGone, "lease %q is no longer held", id)
+		return
+	}
+	s.registry.RecordCompletion(req.WorkerID)
+	j, ok := s.lookup(lease.Job)
+	if !ok {
+		// The job record was evicted while the run was out on lease; nothing
+		// left to publish into.
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, map[string]string{"job": lease.Job, "state": "forgotten"})
+		return
+	}
+	applyProgress(j, req.Progress)
+	switch {
+	case req.Status == fleet.StatusDone && !j.cancelRequested():
+		var stats JobStats
+		if len(req.Stats) > 0 {
+			json.Unmarshal(req.Stats, &stats)
+		}
+		s.finishJobDone(j, &JobResult{Layout: req.Layout, Stats: stats})
+		atomic.AddInt64(&s.remoteDone, 1)
+	case req.Status == fleet.StatusFailed:
+		s.finishJobFailed(j, req.Error)
+	default:
+		// Canceled — or done bytes racing a cancel request, which the local
+		// runner also reports as canceled rather than publishing the result.
+		s.finishJobCanceled(j)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j.Snapshot())
+}
+
+// applyProgress bridges a batch of worker-shipped progress records into the
+// job's event hub, so /events subscribers and the status endpoint's live
+// Progress view work identically for remote runs.
+func applyProgress(j *Job, evs []fleet.ProgressEvent) {
+	for i := range evs {
+		ev := &evs[i]
+		switch {
+		case ev.Type == "temp" && ev.Temp != nil:
+			j.hub.RecordTemp(*ev.Temp)
+		case ev.Type == "chain" && ev.Chain != nil:
+			j.hub.RecordChain(*ev.Chain)
+		case ev.Type == "phase" && ev.Phase != nil:
+			j.hub.append(Event{Type: "phase", Phase: &PhaseEvent{
+				Name: ev.Phase.Name, ElapsedNS: ev.Phase.ElapsedNS,
+			}})
+		}
+	}
+}
+
+// leaseJanitor periodically harvests expired leases and re-enqueues their
+// jobs. Runs for the life of the server, even with no fleet attached — it is
+// idle then.
+func (s *Server) leaseJanitor() {
+	defer s.wg.Done()
+	tick := s.leases.TTL() / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-t.C:
+			for _, l := range s.leases.Expire(now) {
+				s.handleLeaseExpiry(l)
+			}
+		}
+	}
+}
+
+// handleLeaseExpiry puts an expired lease's job back in front of the queue.
+// The retry is idempotent — runs are deterministic per cache key — and the
+// job keeps its original enqueue time, so it loses no aging credit and jumps
+// ahead of everything submitted after it. A job canceled while the dead
+// worker held it goes terminal instead.
+func (s *Server) handleLeaseExpiry(l fleet.Lease) {
+	j, ok := s.lookup(l.Job)
+	if !ok {
+		return
+	}
+	requeue, cancelTerminal := j.requeueForRetry()
+	switch {
+	case requeue:
+		atomic.AddInt64(&s.reenqueues, 1)
+		s.sched.EnqueueFront(j, j.pri, j.client, j.created)
+	case cancelTerminal:
+		if j.userCanceled() {
+			s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key})
+		}
+	}
+}
+
+// FleetStats is the fleet section of /statsz.
+type FleetStats struct {
+	WorkersRegistered int   `json:"workers_registered"`
+	WorkersLive       int   `json:"workers_live"`
+	WorkersDraining   int   `json:"workers_draining"`
+	ActiveLeases      int   `json:"active_leases"`
+	LeasesGranted     int64 `json:"leases_granted"`
+	LeasesRenewed     int64 `json:"leases_renewed"`
+	LeaseExpiries     int64 `json:"lease_expiries"`
+	Reenqueues        int64 `json:"reenqueues"`
+	RemoteCompletions int64 `json:"remote_completions"`
+	// Queue composition under the scheduler's discipline.
+	QueueByClass  map[string]int `json:"queue_by_class"`
+	QueueByClient map[string]int `json:"queue_by_client"`
+}
+
+// fleetStats snapshots the fleet section of /statsz. Liveness uses a window
+// of two lease TTLs: a worker that has not leased, heartbeat or completed in
+// that long has almost certainly crashed or partitioned.
+func (s *Server) fleetStats() FleetStats {
+	registered, live, draining := s.registry.Counts(2 * s.leases.TTL())
+	lc := s.leases.Counters()
+	d := s.sched.Depths()
+	return FleetStats{
+		WorkersRegistered: registered,
+		WorkersLive:       live,
+		WorkersDraining:   draining,
+		ActiveLeases:      s.leases.Active(),
+		LeasesGranted:     lc.Granted,
+		LeasesRenewed:     lc.Renewed,
+		LeaseExpiries:     lc.Expired,
+		Reenqueues:        atomic.LoadInt64(&s.reenqueues),
+		RemoteCompletions: atomic.LoadInt64(&s.remoteDone),
+		QueueByClass:      d.ByClass,
+		QueueByClient:     d.ByClient,
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exper"
+	"repro/internal/fleet"
 	"repro/internal/netlist"
 )
 
@@ -70,6 +71,11 @@ type JobRequest struct {
 	// flows do (ArchFor: 8 or 12 module rows at ~55% utilization).
 	Tracks int `json:"tracks,omitempty"`
 
+	// Priority is the scheduling class: "low", "normal" (the default) or
+	// "high". It decides when the job runs, never what is computed, so it is
+	// deliberately excluded from the result cache key.
+	Priority string `json:"priority,omitempty"`
+
 	// Config tunes the optimizer. Zero values select the library defaults.
 	Config JobConfig `json:"config,omitempty"`
 }
@@ -103,8 +109,9 @@ func (c *JobConfig) critOn() bool { return c.CritWeight > 0 }
 type jobSpec struct {
 	req   JobRequest
 	nl    *netlist.Netlist
-	canon []byte // canonical netlist serialization (WriteNet of the parsed design)
-	key   string // hex sha256 cache key
+	canon []byte         // canonical netlist serialization (WriteNet of the parsed design)
+	key   string         // hex sha256 cache key
+	pri   fleet.Priority // validated scheduling class (never part of key)
 }
 
 // parseJobRequest decodes, validates and canonicalizes one submission body.
@@ -170,6 +177,10 @@ func buildSpec(req JobRequest) (*jobSpec, error) {
 	if req.Tracks < minTracks || req.Tracks > maxTracks {
 		return nil, fmt.Errorf("tracks %d out of range [%d, %d]", req.Tracks, minTracks, maxTracks)
 	}
+	pri, err := fleet.ParsePriority(req.Priority)
+	if err != nil {
+		return nil, err
+	}
 	if err := req.Config.validate(); err != nil {
 		return nil, err
 	}
@@ -178,7 +189,7 @@ func buildSpec(req JobRequest) (*jobSpec, error) {
 	if err := netlist.WriteNet(&canon, nl); err != nil {
 		return nil, fmt.Errorf("canonicalize netlist: %w", err)
 	}
-	spec := &jobSpec{req: req, nl: nl, canon: canon.Bytes()}
+	spec := &jobSpec{req: req, nl: nl, canon: canon.Bytes(), pri: pri}
 	spec.key = spec.cacheKey()
 	return spec, nil
 }
@@ -227,8 +238,10 @@ func (c *JobConfig) validate() error {
 // netlist, the architecture parameters, and every result-affecting config
 // field. Two requests with the same key produce bit-identical layouts (the
 // determinism contract pinned by the golden/GOMAXPROCS-invariance tests), so
-// a cache hit can be served without re-annealing. Workers is excluded: it is
-// scheduling-only.
+// a cache hit can be served without re-annealing. Workers and Priority are
+// excluded: both are scheduling-only — priority changes when a job runs,
+// never what it computes, so the same design submitted at different
+// priorities shares one cached result.
 func (s *jobSpec) cacheKey() string {
 	h := sha256.New()
 	c := s.req.Config
@@ -323,7 +336,8 @@ type Job struct {
 	hub     *eventHub
 	cancel  chan struct{}
 	created time.Time
-	client  string // rate-limit identity (header or remote addr)
+	client  string         // rate-limit + fair-queueing identity (header or remote addr)
+	pri     fleet.Priority // scheduling class (from the validated request)
 
 	// Recovered done jobs have no spec; their display metadata comes from
 	// the journal instead, and their layout is read through the disk cache.
@@ -351,6 +365,7 @@ func newJob(id string, spec *jobSpec) *Job {
 		hub:     newEventHub(),
 		cancel:  make(chan struct{}),
 		created: time.Now(),
+		pri:     spec.pri,
 		state:   StateQueued,
 	}
 	j.hub.state(StateQueued)
@@ -367,6 +382,7 @@ func newCachedJob(id string, spec *jobSpec, res *JobResult) *Job {
 		hub:     newEventHub(),
 		cancel:  make(chan struct{}),
 		created: time.Now(),
+		pri:     spec.pri,
 		state:   StateDone,
 		result:  res,
 		cached:  true,
@@ -488,6 +504,32 @@ func (j *Job) interrupt() {
 	}
 }
 
+// requeueForRetry moves a running job whose lease expired back to queued so
+// the scheduler can hand it to another worker. Retrying is safe because runs
+// are deterministic per cache key: whichever worker finishes produces the
+// same bytes. It reports (requeue, cancelTerminal): requeue means the caller
+// must put the job back on the scheduler; cancelTerminal means a cancel
+// arrived while the doomed worker held the lease, so the job goes terminal
+// canceled instead of retrying.
+func (j *Job) requeueForRetry() (requeue, cancelTerminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false, false
+	}
+	if j.cancelReq {
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.hub.state(StateCanceled)
+		j.hub.finish()
+		return false, true
+	}
+	j.state = StateQueued
+	j.started = time.Time{}
+	j.hub.state(StateQueued)
+	return true, false
+}
+
 // userCanceled reports whether a client (as opposed to shutdown) asked for
 // cancellation; only those cancellations are journaled as terminal.
 func (j *Job) userCanceled() bool {
@@ -515,6 +557,7 @@ func (j *Job) Snapshot() JobStatus {
 		Nets:     j.nets,
 		Cached:   j.cached,
 		CacheKey: j.Key,
+		Priority: j.pri.String(),
 		Created:  j.created,
 		Error:    j.errMsg,
 	}
@@ -587,6 +630,7 @@ type JobStatus struct {
 	Nets     int          `json:"nets"`
 	Cached   bool         `json:"cached"`
 	CacheKey string       `json:"cache_key"`
+	Priority string       `json:"priority"`
 	Created  time.Time    `json:"created"`
 	Started  *time.Time   `json:"started,omitempty"`
 	Finished *time.Time   `json:"finished,omitempty"`

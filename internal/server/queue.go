@@ -1,9 +1,10 @@
-// The execution side of the service: a bounded FIFO queue feeding a fixed
-// worker pool. Submission never blocks — a full queue is reported to the
-// client as backpressure (429 + Retry-After) — and workers drain jobs in
-// arrival order. Each run threads the job's cancel channel and event hub into
-// the optimizer, so DELETE stops a run at the next temperature boundary and
-// subscribers watch per-temperature progress live.
+// The execution side of the service: the scheduler feeding a fixed pool of
+// in-process workers (external fpgaprw workers drain the same scheduler via
+// the lease handlers in fleet.go). Submission never blocks — a full queue is
+// reported to the client as backpressure (429 + Retry-After). Each run
+// threads the job's cancel channel and event hub into the optimizer, so
+// DELETE stops a run at the next temperature boundary and subscribers watch
+// per-temperature progress live.
 package server
 
 import (
@@ -16,27 +17,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/layio"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
-// worker is one pool goroutine: it drains the queue until Close.
+// worker is one in-process pool goroutine: it drains the scheduler until
+// Close.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
+		j, ok := s.sched.Dequeue(s.quit)
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.runJob(j)
 		}
+		s.runJob(j)
 	}
 }
 
 // runJob executes one dequeued job through the optimizer and moves it to its
-// terminal state, journaling each transition. The durability order on
-// success matters: the layout blob is written through the cache *before* the
-// done record is appended, so a journaled done always has (or at worst has
-// since evicted) its blob.
+// terminal state, journaling each transition.
 func (s *Server) runJob(j *Job) {
 	if !j.beginRunning() {
 		return // canceled while queued
@@ -47,16 +46,9 @@ func (s *Server) runJob(j *Job) {
 	res, layoutText, err := executeJob(j.spec, j.cancel, j.hub)
 	switch {
 	case err != nil:
-		j.finishTerminal(StateFailed, nil, err.Error())
-		s.journal(store.Record{Kind: store.KindFailed, Job: j.ID, Key: j.Key,
-			Data: []byte(err.Error())})
+		s.finishJobFailed(j, err.Error())
 	case res.Cancelled || j.cancelRequested():
-		j.finishTerminal(StateCanceled, nil, "")
-		// Journal only client cancellations. A shutdown interrupt leaves the
-		// submitted record pending so the next process life re-runs the job.
-		if j.userCanceled() {
-			s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key})
-		}
+		s.finishJobCanceled(j)
 	default:
 		jr := &JobResult{
 			Layout: layoutText,
@@ -72,33 +64,60 @@ func (s *Server) runJob(j *Job) {
 				WallMS:      float64(time.Since(start)) / float64(time.Millisecond),
 			},
 		}
-		s.cache.put(j.Key, jr)
-		j.finishTerminal(StateDone, jr, "")
-		if s.store != nil {
-			data, _ := json.Marshal(journalCompletion{
-				Design: j.spec.designName(),
-				Cells:  j.spec.nl.NumCells(),
-				Nets:   j.spec.nl.NumNets(),
-				Stats:  jr.Stats,
-			})
-			s.journal(store.Record{Kind: store.KindDone, Job: j.ID, Key: j.Key, Data: data})
-		}
+		s.finishJobDone(j, jr)
+	}
+}
+
+// finishJobDone moves a running job to done, journaling the completion. The
+// durability order matters: the layout blob is written through the cache
+// *before* the done record is appended, so a journaled done always has (or at
+// worst has since evicted) its blob. Shared by the in-process runner and the
+// fleet complete handler, so a remotely-run job lands in the cache and the
+// WAL exactly as a local run would.
+func (s *Server) finishJobDone(j *Job, jr *JobResult) {
+	s.cache.put(j.Key, jr)
+	j.finishTerminal(StateDone, jr, "")
+	if s.store != nil {
+		data, _ := json.Marshal(journalCompletion{
+			Design: j.spec.designName(),
+			Cells:  j.spec.nl.NumCells(),
+			Nets:   j.spec.nl.NumNets(),
+			Stats:  jr.Stats,
+		})
+		s.journal(store.Record{Kind: store.KindDone, Job: j.ID, Key: j.Key, Data: data})
+	}
+}
+
+// finishJobFailed moves a running job to failed and journals the error.
+func (s *Server) finishJobFailed(j *Job, msg string) {
+	j.finishTerminal(StateFailed, nil, msg)
+	s.journal(store.Record{Kind: store.KindFailed, Job: j.ID, Key: j.Key, Data: []byte(msg)})
+}
+
+// finishJobCanceled moves a running job to canceled. Only client
+// cancellations are journaled: a shutdown interrupt leaves the submitted
+// record pending so the next process life re-runs the job.
+func (s *Server) finishJobCanceled(j *Job) {
+	j.finishTerminal(StateCanceled, nil, "")
+	if j.userCanceled() {
+		s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key})
 	}
 }
 
 // executeJob builds the architecture and optimizer for a validated spec and
 // runs the simultaneous flow. The cancel channel stops the run at the next
-// temperature boundary / sync barrier; the hub observes every temperature.
+// temperature boundary / sync barrier; mc observes every temperature (the
+// job's event hub locally, a fleet ProgressBuffer on a remote worker).
 // Cancelled runs skip layout serialization — the partial state is never
 // served.
-func executeJob(spec *jobSpec, cancel <-chan struct{}, hub *eventHub) (core.Result, []byte, error) {
+func executeJob(spec *jobSpec, cancel <-chan struct{}, mc metrics.Collector) (core.Result, []byte, error) {
 	a, err := exper.ArchFor(spec.nl, spec.req.Tracks)
 	if err != nil {
 		return core.Result{}, nil, fmt.Errorf("architecture: %w", err)
 	}
 	cfg := spec.coreConfig()
 	cfg.Cancel = cancel
-	cfg.Metrics = hub
+	cfg.Metrics = mc
 	o, err := core.New(a, spec.nl, cfg)
 	if err != nil {
 		return core.Result{}, nil, fmt.Errorf("optimizer: %w", err)

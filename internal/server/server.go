@@ -10,11 +10,19 @@
 //	GET    /healthz             liveness
 //	GET    /statsz              queue/cache/job counters
 //
-// Jobs flow through a bounded FIFO queue into a fixed worker pool; a full
-// queue answers 429 with Retry-After rather than blocking or buffering
-// unboundedly. Results are cached under hash(canonical netlist, arch params,
-// config, seed): the optimizer is bit-exact for that tuple, so a repeat
-// submission returns the identical layout bytes without re-annealing.
+// plus the fleet work-dispatch endpoints under /v1/fleet/ (see fleet.go and
+// the wire protocol in internal/fleet) through which external fpgaprw worker
+// processes lease jobs.
+//
+// Jobs flow through a bounded scheduler — priority classes with aging, then
+// weighted round-robin across clients, then FIFO — into the in-process worker
+// pool and any leased-out external workers; a full queue answers 429 with
+// Retry-After rather than blocking or buffering unboundedly. With a single
+// client submitting at one priority the scheduler degenerates to exactly the
+// FIFO it replaced. Results are cached under hash(canonical netlist, arch
+// params, config, seed): the optimizer is bit-exact for that tuple, so a
+// repeat submission returns the identical layout bytes without re-annealing —
+// and a lease-expiry retry on another worker reproduces the same bytes.
 package server
 
 import (
@@ -29,14 +37,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/store"
 )
 
 // Config sizes the service.
 type Config struct {
-	// Workers is the number of concurrent optimizer runs (default 2).
+	// Workers is the number of in-process optimizer runners (default 2).
+	// Negative means none: the process is a pure coordinator and every job is
+	// executed by external fpgaprw workers over the fleet protocol.
 	Workers int
-	// QueueDepth is the bounded FIFO capacity; submissions beyond it are
+	// QueueDepth is the bounded queue capacity; submissions beyond it are
 	// rejected with 429 (default 16).
 	QueueDepth int
 	// CacheEntries caps the deterministic result cache (default 128).
@@ -63,11 +74,24 @@ type Config struct {
 	// (0 disables). Violations answer 429 with Retry-After, like the queue's
 	// backpressure path.
 	MaxInflight int
+
+	// LeaseTTL is how long an external worker's lease survives without a
+	// heartbeat before the job is re-enqueued (default fleet.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// AgingStep is the queue-wait per one-class priority promotion
+	// (0 = fleet.DefaultAgingStep; negative disables aging).
+	AgingStep time.Duration
+	// ClientWeights optionally gives some clients more than one dequeue per
+	// fair-queueing turn; absent clients weigh 1.
+	ClientWeights map[string]int
 }
 
 func (c *Config) setDefaults() {
-	if c.Workers <= 0 {
+	switch {
+	case c.Workers == 0:
 		c.Workers = 2
+	case c.Workers < 0:
+		c.Workers = 0 // coordinator-only: fleet workers do all execution
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
@@ -89,12 +113,18 @@ type Server struct {
 	cfg     Config
 	start   time.Time
 	mux     *http.ServeMux
-	queue   chan *Job
+	sched   *fleet.Scheduler[*Job]
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	cache   *resultCache
 	store   *store.Store // nil = in-memory only
 	limiter *rateLimiter // nil = no token-bucket limit
+
+	// Fleet state: external-worker identities and the leases checking jobs
+	// out to them. Both exist even in zero-config standalone mode — they are
+	// simply empty until an fpgaprw registers.
+	registry *fleet.Registry
+	leases   *fleet.LeaseManager
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -108,6 +138,8 @@ type Server struct {
 	runs        int64
 	rateLimited int64
 	walErrors   int64
+	reenqueues  int64
+	remoteDone  int64
 }
 
 // New builds a server and starts its worker pool. If cfg.Store is set, the
@@ -120,11 +152,17 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		start: time.Now(),
 		mux:   http.NewServeMux(),
-		queue: make(chan *Job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		cache: newResultCache(cfg.CacheEntries, cfg.Store),
-		store: cfg.Store,
-		jobs:  make(map[string]*Job),
+		sched: fleet.NewScheduler[*Job](fleet.SchedulerConfig{
+			Capacity:  cfg.QueueDepth,
+			AgingStep: cfg.AgingStep,
+			Weights:   cfg.ClientWeights,
+		}),
+		quit:     make(chan struct{}),
+		cache:    newResultCache(cfg.CacheEntries, cfg.Store),
+		store:    cfg.Store,
+		registry: fleet.NewRegistry(nil),
+		leases:   fleet.NewLeaseManager(cfg.LeaseTTL, nil),
+		jobs:     make(map[string]*Job),
 	}
 	if cfg.RatePerSec > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.RateBurst)
@@ -136,6 +174,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("POST /v1/fleet/workers", s.handleFleetRegister)
+	s.mux.HandleFunc("POST /v1/fleet/workers/{id}/drain", s.handleFleetDrain)
+	s.mux.HandleFunc("POST /v1/fleet/lease", s.handleFleetLease)
+	s.mux.HandleFunc("POST /v1/fleet/leases/{id}/heartbeat", s.handleFleetHeartbeat)
+	s.mux.HandleFunc("POST /v1/fleet/leases/{id}/complete", s.handleFleetComplete)
 	if s.store != nil {
 		s.recover()
 	}
@@ -143,6 +186,8 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.leaseJanitor()
 	return s
 }
 
@@ -183,9 +228,7 @@ func (s *Server) recover() {
 		atomic.AddInt64(&s.walErrors, 1)
 	}
 	for _, j := range enqueue {
-		select {
-		case s.queue <- j:
-		default:
+		if !s.sched.TryEnqueue(j, j.pri, j.client) {
 			// More interrupted work than queue slots: fail the overflow
 			// loudly rather than block startup.
 			j.finishTerminal(StateFailed, nil, "job queue full during crash recovery")
@@ -233,6 +276,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // re-enqueues and finishes it.
 func (s *Server) Close() {
 	close(s.quit)
+	s.sched.Close()
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		j.interrupt()
@@ -358,20 +402,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	select {
-	case s.queue <- j:
+	if s.sched.TryEnqueue(j, j.pri, client) {
 		s.respondJob(w, j, http.StatusAccepted)
-	default:
-		s.unregister(j.ID)
-		// Neutralize the submitted record: a rejected job must not be
-		// resurrected by the next recovery.
-		s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key,
-			Data: []byte("queue full")})
-		atomic.AddInt64(&s.rejected, 1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests,
-			"queue full (%d jobs); retry later", s.cfg.QueueDepth)
+		return
 	}
+	s.unregister(j.ID)
+	// Neutralize the submitted record: a rejected job must not be
+	// resurrected by the next recovery.
+	s.journal(store.Record{Kind: store.KindCanceled, Job: j.ID, Key: j.Key,
+		Data: []byte("queue full")})
+	atomic.AddInt64(&s.rejected, 1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests,
+		"queue full (%d jobs); retry later", s.cfg.QueueDepth)
 }
 
 // inflight counts one client's live (non-terminal) jobs.
@@ -533,6 +576,7 @@ type Stats struct {
 	CacheHits   int64            `json:"cache_hit_responses"`
 	Runs        int64            `json:"optimizer_runs"`
 	Cache       CacheStats       `json:"cache"`
+	Fleet       FleetStats       `json:"fleet"`
 	Store       *store.Stats     `json:"store,omitempty"` // nil without -data-dir
 	WALErrors   int64            `json:"wal_errors,omitempty"`
 	Goroutines  int              `json:"goroutines"`
@@ -543,7 +587,7 @@ func (s *Server) StatsSnapshot() Stats {
 	st := Stats{
 		UptimeSec:   time.Since(s.start).Seconds(),
 		Workers:     s.cfg.Workers,
-		QueueDepth:  len(s.queue),
+		QueueDepth:  s.sched.Len(),
 		QueueCap:    s.cfg.QueueDepth,
 		Jobs:        make(map[JobState]int),
 		Submitted:   atomic.LoadInt64(&s.submitted),
@@ -553,6 +597,7 @@ func (s *Server) StatsSnapshot() Stats {
 		CacheHits:   atomic.LoadInt64(&s.cacheHits),
 		Runs:        atomic.LoadInt64(&s.runs),
 		Cache:       s.cache.stats(),
+		Fleet:       s.fleetStats(),
 		WALErrors:   atomic.LoadInt64(&s.walErrors),
 		Goroutines:  runtime.NumGoroutine(),
 	}
