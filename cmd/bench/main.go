@@ -12,6 +12,9 @@
 //	bench -crit-weight 1 -compare BENCH_cur.json -timing-gate
 //	                                              # timing-quality gate: geomean critical
 //	                                              # path must improve at <=5% wall cost
+//	bench -route-backend lagrange -compare BENCH_cur.json -route-gate
+//	                                              # route-scaling gate: quality-neutral
+//	                                              # routing at no higher route wall time
 //	bench -trace run.jsonl                        # also dump the event stream
 package main
 
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/droute"
 	"repro/internal/exper"
 	"repro/internal/metrics"
 )
@@ -45,6 +49,11 @@ func main() {
 		critBias    = flag.Float64("crit-bias", 0, "fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
 		critDamping = flag.Float64("crit-damping", 0, "exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
 		timingGate  = flag.Bool("timing-gate", false, "-compare in timing-quality mode: require geomean critical-path improvement over the baseline at <=5% total wall cost (same-machine baseline)")
+
+		routeBackend = flag.String("route-backend", "", `detailed-router backend: "ordered" (default), "negotiated" or "lagrange"`)
+		routeWorkers = flag.Int("route-workers", 0, "max router concurrency (0 = GOMAXPROCS; scheduling only, never affects results)")
+		routeIters   = flag.Int("route-iters", 0, "iteration cap for the negotiated/lagrange backends (0 = backend default)")
+		routeGate    = flag.Bool("route-gate", false, "-compare in route-scaling mode: the selected backend must be quality-neutral on routing at no higher total route wall time than the baseline (same-machine baseline)")
 	)
 	flag.Parse()
 
@@ -72,7 +81,9 @@ func main() {
 		tracks: *tracks, chains: *chains, workers: *workers,
 		out: *out, tracePath: *tracePath, compare: *compare, wallTol: *wallTol,
 		critWeight: *critWeight, critBias: *critBias, critDamping: *critDamping,
-		timingGate: *timingGate,
+		timingGate:   *timingGate,
+		routeBackend: *routeBackend, routeWorkers: *routeWorkers,
+		routeIters: *routeIters, routeGate: *routeGate,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -96,6 +107,11 @@ type runOpts struct {
 	critBias    float64
 	critDamping float64
 	timingGate  bool
+
+	routeBackend string
+	routeWorkers int
+	routeIters   int
+	routeGate    bool
 }
 
 func run(o runOpts) error {
@@ -116,6 +132,15 @@ func run(o runOpts) error {
 	e.CritWeight = o.critWeight
 	e.CritBias = o.critBias
 	e.CritDamping = o.critDamping
+	backend, err := droute.ParseBackend(o.routeBackend)
+	if err != nil {
+		return err
+	}
+	if backend != droute.BackendOrdered {
+		e.RouteBackend = string(backend)
+	}
+	e.RouteWorkers = o.routeWorkers
+	e.RouteIters = o.routeIters
 
 	var trace *metrics.Trace
 	if tracePath != "" {
@@ -139,6 +164,11 @@ func run(o runOpts) error {
 		CritWeight:  e.CritWeight,
 		CritBias:    e.CritBias,
 		CritDamping: e.CritDamping,
+
+		// The report records the backend only when non-default, mirroring
+		// the JSON omitempty contract so old baselines stay comparable.
+		RouteBackend: e.RouteBackend,
+		RouteIters:   e.RouteIters,
 	}
 	for _, name := range strings.Split(designCSV, ",") {
 		name = strings.TrimSpace(name)
@@ -196,6 +226,9 @@ func run(o runOpts) error {
 		opt.WallTol = wallTol
 		if o.timingGate {
 			opt = exper.TimingQualityCompareOptions()
+		}
+		if o.routeGate {
+			opt = exper.RouteGateCompareOptions()
 		}
 		regs, err := exper.CompareBenchReports(base, rep, opt)
 		if err != nil {

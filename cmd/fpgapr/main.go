@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 
 	"repro"
+	"repro/internal/droute"
 	"repro/internal/metrics"
 )
 
@@ -43,6 +44,10 @@ type options struct {
 	critDamping  float64
 	timingDriven bool // sequential flow: criticality-weighted second placement pass
 
+	routeBackend string // detailed-router backend (ordered, negotiated, lagrange)
+	routeWorkers int
+	routeIters   int
+
 	stats  bool   // print the metrics summary after the run
 	pprofP string // profile path prefix; writes <p>.cpu.pprof and <p>.heap.pprof
 }
@@ -65,6 +70,9 @@ func main() {
 	flag.Float64Var(&o.critBias, "crit-bias", 0, "simultaneous flow: fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
 	flag.Float64Var(&o.critDamping, "crit-damping", 0, "simultaneous flow: exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
 	flag.BoolVar(&o.timingDriven, "timing-driven", false, "sequential flow: run a criticality-weighted second placement pass")
+	flag.StringVar(&o.routeBackend, "route-backend", "", `detailed-router backend: "ordered" (default), "negotiated" or "lagrange"`)
+	flag.IntVar(&o.routeWorkers, "route-workers", 0, "max router concurrency (0 = GOMAXPROCS; scheduling only, never results)")
+	flag.IntVar(&o.routeIters, "route-iters", 0, "iteration cap for the negotiated/lagrange route backends (0 = backend default)")
 	flag.BoolVar(&o.stats, "stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
 	flag.StringVar(&o.pprofP, "pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	flag.Parse()
@@ -152,12 +160,18 @@ func run(o options) error {
 			CritWeight:    o.critWeight,
 			CritBias:      o.critBias,
 			CritDamping:   o.critDamping,
+			RouteBackend:  droute.Backend(o.routeBackend),
+			RouteIters:    o.routeIters,
+			RouteWorkers:  o.routeWorkers,
 			Metrics:       collectorOrNil(sum),
 		})
 	case "seq":
 		cfg := repro.SeqConfig{Seed: o.seed, Metrics: collectorOrNil(sum)}
 		cfg.Place.MovesPerCell = o.effort
 		cfg.Place.MaxTemps = o.maxTemps
+		cfg.RouteBackend = droute.Backend(o.routeBackend)
+		cfg.RouteIters = o.routeIters
+		cfg.RouteWorkers = o.routeWorkers
 		if o.timingDriven {
 			cfg.TimingDriven = true
 			cfg.CritWeight = o.critWeight

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/droute"
 	"repro/internal/exper"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -43,8 +44,12 @@ func main() {
 		critWeight  = flag.Float64("crit-weight", 0, "criticality-weighted net-delay cost term for the simultaneous flow (0 = off)")
 		critBias    = flag.Float64("crit-bias", 0, "fraction of moves drawn from near-critical cells (0 = default when -crit-weight is set)")
 		critDamping = flag.Float64("crit-damping", 0, "exponential damping of per-net criticalities (0 = default when -crit-weight is set)")
-		stats       = flag.Bool("stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
-		pprofP      = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
+
+		routeBackend = flag.String("route-backend", "", `detailed-router backend for both flows: "ordered" (default), "negotiated" or "lagrange"`)
+		routeWorkers = flag.Int("route-workers", 0, "max router concurrency (0 = GOMAXPROCS; scheduling only, never results)")
+		routeIters   = flag.Int("route-iters", 0, "iteration cap for the negotiated/lagrange route backends (0 = backend default)")
+		stats        = flag.Bool("stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
+		pprofP       = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	)
 	flag.Parse()
 
@@ -65,6 +70,13 @@ func main() {
 	e.CritWeight = *critWeight
 	e.CritBias = *critBias
 	e.CritDamping = *critDamping
+	if _, err := droute.ParseBackend(*routeBackend); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(2)
+	}
+	e.RouteBackend = *routeBackend
+	e.RouteWorkers = *routeWorkers
+	e.RouteIters = *routeIters
 	if e.Chains > 1 {
 		fmt.Printf("effort: %s (%d parallel chains)\n\n", e.Name, e.Chains)
 	} else {

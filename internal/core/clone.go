@@ -28,9 +28,12 @@ func (o *Optimizer) Clone() *Optimizer {
 		An:  o.An.Clone(),
 		cfg: o.cfg,
 
-		g:   o.g,
-		d:   o.d,
-		dc:  o.dc,
+		g:  o.g,
+		d:  o.d,
+		dc: o.dc,
+
+		initRouteFailed: o.initRouteFailed,
+
 		wg:  o.wg,
 		wd:  o.wd,
 		wt:  o.wt,

@@ -54,6 +54,25 @@ type Config struct {
 	DrouteCost   droute.Cost // zero value selects droute.DefaultCost
 	RepairPasses int         // zero-temperature routability repair passes (default 6)
 
+	// RouteBackend selects the algorithm of the initial constructive full
+	// routing pass: the paper's ordered single-pass router (empty or
+	// droute.BackendOrdered — the default, bit-identical to the
+	// pre-extension engine), the negotiated-congestion router
+	// (droute.BackendNegotiated), or the Lagrangian-relaxation net-parallel
+	// router (droute.BackendLagrange). The in-loop incremental rerouting is
+	// backend-independent. Every backend is deterministic for a fixed Seed
+	// regardless of RouteWorkers or GOMAXPROCS.
+	RouteBackend droute.Backend
+
+	// RouteIters overrides the iteration cap of the negotiated and lagrange
+	// route backends (0 = the backend's default). Ignored when the ordered
+	// backend is selected.
+	RouteIters int
+
+	// RouteWorkers caps the selected route backend's concurrency
+	// (0 = GOMAXPROCS). Scheduling only; never affects results.
+	RouteWorkers int
+
 	// DisablePinmapMoves removes pinmap reassignment from the move set
 	// (ablation: quantifies what the paper's "Cell Pin Assignments" state
 	// component buys).
@@ -224,6 +243,11 @@ type Result struct {
 	CriticalPath []int32
 	Cancelled    bool // run cut short by Config.Cancel (repair skipped)
 
+	// RouteFailed is the number of channel needs the initial constructive
+	// routing pass (Config.RouteBackend) left unrouted — the starting debt
+	// the annealer then works off.
+	RouteFailed int
+
 	// Parallel-run report; zero values on the serial path.
 	Chains           int             // number of annealing chains (0 or 1 = serial)
 	Champion         int             // winning chain index
@@ -248,6 +272,8 @@ type Optimizer struct {
 	g, d       int // current G and D counts
 	dc         int // missing detailed channel routes across globally routed nets
 	wg, wd, wt float64
+
+	initRouteFailed int // channel needs the initial constructive route left unrouted
 
 	// Move journal (valid between Propose and Accept/Reject).
 	moveKind     moveKind
@@ -308,6 +334,10 @@ const (
 // first routing pass, and a fully initialized timing view.
 func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 	cfg.setDefaults()
+	backend, err := droute.ParseBackend(string(cfg.RouteBackend))
+	if err != nil {
+		return nil, err
+	}
 	initDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseInit)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	p, err := layout.NewRandom(a, nl, rng)
@@ -340,8 +370,32 @@ func New(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Optimizer, error) {
 	o.window = maxInt(a.Rows, a.Cols)
 
 	// Initial constructive routing (longest nets first) and delay fill.
+	// The nested phase records let benchmarks attribute the construction's
+	// route share separately from the enclosing init phase.
+	grouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseGlobalRoute)
 	groute.RouteAll(o.F, o.P, o.Rts)
-	droute.RouteAllDetailed(o.F, o.Rts, cfg.DrouteCost, 1, rng)
+	grouteDone()
+	drouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseDetailRoute)
+	switch backend {
+	case droute.BackendNegotiated:
+		o.initRouteFailed = droute.RouteAllNegotiated(o.F, o.Rts, cfg.DrouteCost, droute.NegotiateConfig{
+			MaxIters: cfg.RouteIters,
+			Seed:     cfg.Seed,
+			Workers:  cfg.RouteWorkers,
+		})
+	case droute.BackendLagrange:
+		o.initRouteFailed = droute.RouteAllLagrange(o.F, o.Rts, cfg.DrouteCost, droute.LagrangeConfig{
+			MaxIters: cfg.RouteIters,
+			Seed:     cfg.Seed,
+			Workers:  cfg.RouteWorkers,
+		})
+	default:
+		// A single ordered pass consuming no RNG draws beyond placement's:
+		// the annealer works off the remaining debt move by move, exactly as
+		// in the pre-backend engine.
+		o.initRouteFailed = droute.RouteAllDetailed(o.F, o.Rts, cfg.DrouteCost, 1, rng)
+	}
+	drouteDone()
 	o.recountGD()
 	if o.timingOn() {
 		an.Begin()
@@ -577,6 +631,7 @@ func (o *Optimizer) finish(ares anneal.Result) Result {
 		FinalCost:    o.Cost(),
 		CriticalPath: o.An.CriticalPath(),
 		Cancelled:    ares.Cancelled,
+		RouteFailed:  o.initRouteFailed,
 	}
 	return res
 }

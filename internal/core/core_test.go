@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/arch"
+	"repro/internal/droute"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
 )
@@ -238,5 +239,43 @@ func TestMoveMisusePanics(t *testing.T) {
 	o.Reject()
 	if err := o.Check(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The simultaneous flow only re-routes incrementally after construction, so
+// the route backend shapes the initial layout the anneal starts from. The
+// full run must stay deterministic per seed and worker-count invariant, and
+// an unknown backend must be rejected before any work happens.
+func TestRouteBackendInitialRoute(t *testing.T) {
+	a, nl := smallDesign(t)
+	if _, err := New(a, nl, Config{Seed: 1, RouteBackend: "pathfinder"}); err == nil {
+		t.Fatal("New accepted route backend \"pathfinder\"")
+	}
+	for _, backend := range []string{"negotiated", "lagrange"} {
+		run := func(workers int) Result {
+			o, err := New(a, nl, Config{
+				Seed: 4, MovesPerCell: 3, MaxTemps: 25,
+				RouteBackend: droute.Backend(backend), RouteWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := o.Run()
+			if err := o.Check(); err != nil {
+				t.Fatalf("%s: %v", backend, err)
+			}
+			return res
+		}
+		ref := run(1)
+		if ref.RouteFailed < 0 {
+			t.Errorf("%s: negative RouteFailed %d", backend, ref.RouteFailed)
+		}
+		for _, workers := range []int{4, 16} {
+			r := run(workers)
+			if r.WCD != ref.WCD || r.G != ref.G || r.D != ref.D || r.RouteFailed != ref.RouteFailed {
+				t.Errorf("%s workers=%d diverged: (%v,%d,%d) vs (%v,%d,%d)",
+					backend, workers, r.WCD, r.G, r.D, ref.WCD, ref.G, ref.D)
+			}
+		}
 	}
 }

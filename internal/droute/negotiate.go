@@ -24,6 +24,10 @@ type NegotiateConfig struct {
 	HistoryDelta float64 // history added to each over-subscribed segment per iteration (default 1.0)
 	Seed         int64   // seed for the ordered-router fallback on non-convergent instances
 
+	// FallbackAttempts is the ordering-retry budget of the ordered-router
+	// fallback on non-convergent instances (default 8).
+	FallbackAttempts int
+
 	// Workers caps how many channels are negotiated concurrently
 	// (0 = GOMAXPROCS). Scheduling only: results are identical for every
 	// worker count because channels share no horizontal resources — each is
@@ -43,6 +47,9 @@ func (c *NegotiateConfig) setDefaults() {
 	}
 	if c.HistoryDelta <= 0 {
 		c.HistoryDelta = 1.0
+	}
+	if c.FallbackAttempts <= 0 {
+		c.FallbackAttempts = 8
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -188,7 +195,8 @@ func RouteAllNegotiated(f *fabric.Fabric, routes []fabric.NetRoute, base Cost, c
 	// ordered router with retry orderings may salvage more. Keep whichever
 	// result loses fewer channel needs, so negotiation is never a downgrade.
 	ripItems()
-	orderedFailed := RouteAllDetailed(f, routes, base, 8, rand.New(rand.NewSource(cfg.Seed+41)))
+	orderedFailed := RouteAllDetailedWorkers(f, routes, base, cfg.FallbackAttempts,
+		rand.New(rand.NewSource(cfg.Seed+41)), cfg.Workers)
 	if orderedFailed <= failed {
 		return orderedFailed
 	}

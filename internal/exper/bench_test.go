@@ -30,6 +30,7 @@ func goldenReport() *BenchReport {
 			LayoutHash: "deadbeef00112233445566778899aabbccddeeff00112233445566778899aabb",
 			WallMS:     125.25, PeakMovesPerSec: 72000,
 			AllocsPerMove: 1.25, BytesPerMove: 96.5,
+			RouteFailed: 0, RouteWallMS: 4.5,
 		}},
 	}
 }
@@ -346,6 +347,7 @@ func TestRunBenchmarkDeterministicQuality(t *testing.T) {
 	r1.PeakMovesPerSec, r2.PeakMovesPerSec = 0, 0
 	r1.AllocsPerMove, r2.AllocsPerMove = 0, 0
 	r1.BytesPerMove, r2.BytesPerMove = 0, 0
+	r1.RouteWallMS, r2.RouteWallMS = 0, 0
 	if r1 != r2 {
 		t.Errorf("same-seed benchmark rows differ:\n%+v\n%+v", r1, r2)
 	}
@@ -371,4 +373,103 @@ func TestRunBenchmarkFeedsCallerCollector(t *testing.T) {
 	if row.PeakMovesPerSec <= 0 {
 		t.Errorf("PeakMovesPerSec = %v, want > 0", row.PeakMovesPerSec)
 	}
+}
+
+func TestCompareRouteGate(t *testing.T) {
+	opt := RouteGateCompareOptions()
+	base := goldenReport()
+
+	t.Run("backend mismatch allowed with route fields intact", func(t *testing.T) {
+		cur := goldenReport()
+		cur.RouteBackend = "lagrange"
+		cur.RouteIters = 12
+		// Cross-backend layouts legitimately differ: none of the per-design
+		// hash/WCD/wall/alloc gates may fire in route mode.
+		cur.Rows[0].LayoutHash = strings.Repeat("ab", 32)
+		cur.Rows[0].WCDPs = base.Rows[0].WCDPs * 1.5
+		cur.Rows[0].WallMS = base.Rows[0].WallMS * 10
+		cur.Rows[0].AllocsPerMove = base.Rows[0].AllocsPerMove * 10
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("standard mode rejects backend mismatch", func(t *testing.T) {
+		cur := goldenReport()
+		cur.RouteBackend = "lagrange"
+		if _, err := CompareBenchReports(base, cur, DefaultCompareOptions()); err == nil {
+			t.Error("route-backend mismatch accepted by the standard gate")
+		}
+	})
+
+	t.Run("route failure increase flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.RouteBackend = "lagrange"
+		cur.Rows[0].RouteFailed = 1
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "constructive route failures") {
+			t.Errorf("got %v, want one route-failure regression", regs)
+		}
+	})
+
+	t.Run("unrouted increase still flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].Unrouted = 2
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "unrouted nets") {
+			t.Errorf("got %v, want one unrouted regression", regs)
+		}
+	})
+
+	t.Run("route wall over slack flagged", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].RouteWallMS = base.Rows[0].RouteWallMS + opt.RouteWallSlackMS + 1
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "route-scaling gate") {
+			t.Errorf("got %v, want one route-scaling regression", regs)
+		}
+	})
+
+	t.Run("route wall within slack passes", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].RouteWallMS = base.Rows[0].RouteWallMS + opt.RouteWallSlackMS - 1
+		regs, err := CompareBenchReports(base, cur, opt)
+		if err != nil || len(regs) != 0 {
+			t.Errorf("got %v, %v; want no regressions", regs, err)
+		}
+	})
+
+	t.Run("baseline without route fields fails closed", func(t *testing.T) {
+		old := goldenReport()
+		old.Rows[0].RouteWallMS = 0
+		regs, err := CompareBenchReports(old, goldenReport(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "no comparable designs") {
+			t.Errorf("got %v, want the fail-closed route-scaling regression", regs)
+		}
+	})
+
+	t.Run("route failure gate armed in standard mode", func(t *testing.T) {
+		cur := goldenReport()
+		cur.Rows[0].RouteFailed = 3
+		regs, err := CompareBenchReports(base, cur, DefaultCompareOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "constructive route failures") {
+			t.Errorf("got %v, want one route-failure regression", regs)
+		}
+	})
 }

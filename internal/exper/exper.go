@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/droute"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
@@ -46,6 +47,16 @@ type Effort struct {
 	CritWeight  float64
 	CritBias    float64
 	CritDamping float64
+
+	// RouteBackend selects the detailed-router backend for both flows
+	// ("", "ordered", "negotiated" or "lagrange"; see droute.Backend), with
+	// RouteIters overriding the iterative backends' iteration cap and
+	// RouteWorkers capping router concurrency (scheduling only). Zero values
+	// — the ordered backend — in both constructors; callers opt in
+	// (cmd/bench / cmd/paper -route-backend).
+	RouteBackend string
+	RouteIters   int
+	RouteWorkers int
 
 	// Metrics, when non-nil, is threaded into every flow the effort runs
 	// (core and seq). It must be safe for concurrent use: table rows run
@@ -128,6 +139,9 @@ func runSeq(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64) (*seq.Resul
 			MaxTemps:     e.PlaceMaxTemps,
 		},
 		RouteAttempts: e.RouteAttempts,
+		RouteBackend:  droute.Backend(e.RouteBackend),
+		RouteIters:    e.RouteIters,
+		RouteWorkers:  e.RouteWorkers,
 		Metrics:       e.Metrics,
 	})
 	return res, time.Since(start), err
@@ -149,6 +163,9 @@ func RunSim(a *arch.Arch, nl *netlist.Netlist, e Effort, seed int64, wirabilityO
 		CritWeight:    e.CritWeight,
 		CritBias:      e.CritBias,
 		CritDamping:   e.CritDamping,
+		RouteBackend:  droute.Backend(e.RouteBackend),
+		RouteIters:    e.RouteIters,
+		RouteWorkers:  e.RouteWorkers,
 		Metrics:       e.Metrics,
 	})
 	if err != nil {

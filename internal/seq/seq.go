@@ -39,13 +39,26 @@ type Config struct {
 	// amplified in the second pass (default 3).
 	CritWeight float64
 
-	// Negotiated selects the PathFinder-style negotiated-congestion detailed
-	// router instead of the paper-era ordered single-pass router — a
-	// post-paper extension offered for comparison.
+	// RouteBackend selects the full detailed-routing algorithm: the
+	// paper-era ordered router (empty or droute.BackendOrdered), the
+	// PathFinder-style negotiated router (droute.BackendNegotiated), or the
+	// Lagrangian-relaxation net-parallel router (droute.BackendLagrange).
+	// Every backend is deterministic for a fixed Seed regardless of
+	// RouteWorkers or GOMAXPROCS.
+	RouteBackend droute.Backend
+
+	// Negotiated selects the negotiated backend when RouteBackend is unset.
+	// Deprecated: kept for callers predating RouteBackend.
 	Negotiated bool
 
-	// RouteWorkers caps how many channels the negotiated router processes
-	// concurrently (0 = GOMAXPROCS). Scheduling only; never affects results.
+	// RouteIters overrides the iteration cap of the negotiated and lagrange
+	// backends (0 = the backend's default). Ignored by the ordered router.
+	RouteIters int
+
+	// RouteWorkers caps the detailed router's concurrency: channels
+	// negotiated at once (negotiated), nets choosing tracks at once
+	// (lagrange), or retry orderings evaluated at once (ordered). 0 =
+	// GOMAXPROCS. Scheduling only; never affects results.
 	RouteWorkers int
 
 	// Metrics, when non-nil, receives per-phase wall-clock records for the
@@ -57,6 +70,9 @@ type Config struct {
 func (c *Config) setDefaults() {
 	if c.RouteAttempts <= 0 {
 		c.RouteAttempts = 8
+	}
+	if c.RouteBackend == "" && c.Negotiated {
+		c.RouteBackend = droute.BackendNegotiated
 	}
 	if c.CritWeight <= 0 {
 		c.CritWeight = 3
@@ -113,13 +129,30 @@ func Run(a *arch.Arch, nl *netlist.Netlist, cfg Config) (*Result, error) {
 	grouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseGlobalRoute)
 	gFailed := groute.RouteAll(f, p, routes)
 	grouteDone()
+	backend, err := droute.ParseBackend(string(cfg.RouteBackend))
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
 	var dFailed int
 	drouteDone := metrics.StartPhase(cfg.Metrics, metrics.PhaseDetailRoute)
-	if cfg.Negotiated {
-		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{Workers: cfg.RouteWorkers})
-	} else {
-		dFailed = droute.RouteAllDetailed(f, routes, cfg.DrouteCost, cfg.RouteAttempts, rng)
+	switch backend {
+	case droute.BackendNegotiated:
+		dFailed = droute.RouteAllNegotiated(f, routes, cfg.DrouteCost, droute.NegotiateConfig{
+			MaxIters:         cfg.RouteIters,
+			Seed:             cfg.Seed,
+			FallbackAttempts: cfg.RouteAttempts,
+			Workers:          cfg.RouteWorkers,
+		})
+	case droute.BackendLagrange:
+		dFailed = droute.RouteAllLagrange(f, routes, cfg.DrouteCost, droute.LagrangeConfig{
+			MaxIters:         cfg.RouteIters,
+			Seed:             cfg.Seed,
+			FallbackAttempts: cfg.RouteAttempts,
+			Workers:          cfg.RouteWorkers,
+		})
+	default:
+		dFailed = droute.RouteAllDetailedWorkers(f, routes, cfg.DrouteCost, cfg.RouteAttempts, rng, cfg.RouteWorkers)
 	}
 	drouteDone()
 

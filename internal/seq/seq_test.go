@@ -188,3 +188,67 @@ func TestNegotiatedRouterVariant(t *testing.T) {
 	// internal/droute's negotiation tests.
 	t.Logf("starved fabric: ordered %d unrouted, negotiated %d unrouted", plain.UnroutedNets, negRes.UnroutedNets)
 }
+
+func TestLagrangeRouterVariant(t *testing.T) {
+	a, nl := testDesign(t)
+	cfg := fastCfg(1)
+	cfg.RouteBackend = "lagrange"
+	res, err := Run(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.F.CheckConsistent(res.Routes); err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullyRouted {
+		t.Errorf("lagrange router failed on generous fabric: %d unrouted", res.UnroutedNets)
+	}
+	// The choice pass is net-parallel: every worker count must reproduce the
+	// exact same layout (full-flow extension of the droute invariance tests).
+	for _, workers := range []int{1, 4, 16} {
+		c := fastCfg(1)
+		c.RouteBackend = "lagrange"
+		c.RouteWorkers = workers
+		r, err := Run(a, nl, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.WCD != res.WCD || r.UnroutedNets != res.UnroutedNets {
+			t.Errorf("workers=%d diverged: %v/%d vs %v/%d",
+				workers, r.WCD, r.UnroutedNets, res.WCD, res.UnroutedNets)
+		}
+	}
+	t.Logf("generous fabric: lagrange WCD %v", res.WCD)
+}
+
+// An unknown backend must fail fast with a configuration error, not fall
+// through to some default router.
+func TestUnknownRouteBackendRejected(t *testing.T) {
+	a, nl := testDesign(t)
+	cfg := fastCfg(1)
+	cfg.RouteBackend = "pathfinder"
+	if _, err := Run(a, nl, cfg); err == nil {
+		t.Fatal("Run accepted route backend \"pathfinder\"")
+	}
+}
+
+// The deprecated Negotiated flag must keep selecting the negotiated backend.
+func TestNegotiatedFlagMapsToBackend(t *testing.T) {
+	a, nl := testDesign(t)
+	old := fastCfg(4)
+	old.Negotiated = true
+	r1, err := Run(a, nl, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(4)
+	cfg.RouteBackend = "negotiated"
+	r2, err := Run(a, nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WCD != r2.WCD || r1.UnroutedNets != r2.UnroutedNets {
+		t.Errorf("Negotiated flag and RouteBackend diverged: %v/%d vs %v/%d",
+			r1.WCD, r1.UnroutedNets, r2.WCD, r2.UnroutedNets)
+	}
+}

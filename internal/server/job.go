@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/droute"
 	"repro/internal/exper"
 	"repro/internal/fleet"
 	"repro/internal/netlist"
@@ -30,6 +31,7 @@ const (
 	maxSyncTemps    = 256
 	maxWorkersCfg   = 64
 	maxCritWeight   = 100
+	maxRouteIters   = 512
 )
 
 // JobState is a job's position in the lifecycle state machine:
@@ -98,10 +100,24 @@ type JobConfig struct {
 	CritWeight  float64 `json:"crit_weight,omitempty"`
 	CritBias    float64 `json:"crit_bias,omitempty"`
 	CritDamping float64 `json:"crit_damping,omitempty"`
+
+	// Detailed-router backend of the constructive pass (see droute.Backend;
+	// "" = ordered). Result-affecting together with RouteIters: both enter
+	// the cache key whenever a non-default backend is selected.
+	// RouteWorkers, like Workers, is scheduling-only and excluded.
+	RouteBackend string `json:"route_backend,omitempty"`
+	RouteIters   int    `json:"route_iters,omitempty"`
+	RouteWorkers int    `json:"route_workers,omitempty"`
 }
 
 // critOn reports whether the request enables the criticality extension.
 func (c *JobConfig) critOn() bool { return c.CritWeight > 0 }
+
+// routeOn reports whether the request selects a non-default route backend.
+func (c *JobConfig) routeOn() bool {
+	b, err := droute.ParseBackend(c.RouteBackend)
+	return err == nil && b != droute.BackendOrdered
+}
 
 // jobSpec is a validated, canonicalized submission: the parsed netlist, its
 // canonical .net serialization, and the deterministic cache key derived from
@@ -231,6 +247,18 @@ func (c *JobConfig) validate() error {
 	if !c.critOn() && (c.CritBias != 0 || c.CritDamping != 0) {
 		return fmt.Errorf("config.crit_bias/crit_damping require config.crit_weight > 0")
 	}
+	if _, err := droute.ParseBackend(c.RouteBackend); err != nil {
+		return fmt.Errorf("config.route_backend: unknown backend %q (want ordered, negotiated or lagrange)", c.RouteBackend)
+	}
+	if err := check("route_iters", c.RouteIters, maxRouteIters); err != nil {
+		return err
+	}
+	if err := check("route_workers", c.RouteWorkers, maxWorkersCfg); err != nil {
+		return err
+	}
+	if !c.routeOn() && c.RouteIters != 0 {
+		return fmt.Errorf("config.route_iters requires a negotiated or lagrange config.route_backend")
+	}
 	return nil
 }
 
@@ -254,6 +282,12 @@ func (s *jobSpec) cacheKey() string {
 	if c.critOn() {
 		fmt.Fprintf(h, "crit=%g bias=%g damp=%g\n", c.CritWeight, c.CritBias, c.CritDamping)
 	}
+	// Same contract for the route backend: the line is appended only when a
+	// non-default backend is selected, so ordered-backend requests keep their
+	// pre-extension keys and cached results. RouteWorkers never participates.
+	if c.routeOn() {
+		fmt.Fprintf(h, "route=%s iters=%d\n", c.RouteBackend, c.RouteIters)
+	}
 	h.Write(s.canon)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -274,6 +308,9 @@ func (s *jobSpec) coreConfig() core.Config {
 		CritWeight:    c.CritWeight,
 		CritBias:      c.CritBias,
 		CritDamping:   c.CritDamping,
+		RouteBackend:  droute.Backend(c.RouteBackend),
+		RouteIters:    c.RouteIters,
+		RouteWorkers:  c.RouteWorkers,
 	}
 }
 

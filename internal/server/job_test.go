@@ -80,6 +80,46 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if critBias.key == crit.key || critDamp.key == crit.key || critBias.key == critDamp.key {
 		t.Error("crit_bias/crit_damping did not feed the cache key")
 	}
+
+	// Route-backend knobs: selecting a non-default backend changes the key,
+	// its iteration cap feeds it, and the default (empty or explicit
+	// "ordered") preserves the pre-extension key so existing cached results
+	// stay addressable. The scheduling-only route_workers never feeds it.
+	ordered, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{RouteBackend: "ordered"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.key != named.key {
+		t.Error("explicit \"ordered\" backend changed the cache key")
+	}
+	lag, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{RouteBackend: "lagrange"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag.key == named.key {
+		t.Error("route_backend did not change the cache key")
+	}
+	lagIters, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{RouteBackend: "lagrange", RouteIters: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagIters.key == lag.key {
+		t.Error("route_iters did not feed the cache key")
+	}
+	lagWorkers, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{RouteBackend: "lagrange", RouteWorkers: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagWorkers.key != lag.key {
+		t.Error("scheduling-only route_workers field changed the cache key")
+	}
+	neg, err := buildSpec(JobRequest{Design: "tiny", Config: JobConfig{RouteBackend: "negotiated"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.key == lag.key || neg.key == named.key {
+		t.Error("negotiated backend key not distinct")
+	}
 }
 
 // TestParseJobRequestValidation covers the decoder's reject paths.
@@ -104,6 +144,10 @@ func TestParseJobRequestValidation(t *testing.T) {
 		{"crit bias high", `{"design":"tiny","config":{"crit_weight":1,"crit_bias":1.5}}`},
 		{"crit damping 1", `{"design":"tiny","config":{"crit_weight":1,"crit_damping":1}}`},
 		{"crit bias without weight", `{"design":"tiny","config":{"crit_bias":0.5}}`},
+		{"unknown route backend", `{"design":"tiny","config":{"route_backend":"pathfinder"}}`},
+		{"route iters without backend", `{"design":"tiny","config":{"route_iters":8}}`},
+		{"route iters high", `{"design":"tiny","config":{"route_backend":"lagrange","route_iters":9999}}`},
+		{"route workers high", `{"design":"tiny","config":{"route_backend":"lagrange","route_workers":9999}}`},
 		{"trailing data", `{"design":"tiny"} {"x":1}`},
 		{"not an object", `42`},
 	} {
@@ -111,8 +155,14 @@ func TestParseJobRequestValidation(t *testing.T) {
 			t.Errorf("%s: accepted %s", tc.name, tc.body)
 		}
 	}
-	if _, err := parseJobRequest([]byte(`{"design":"tiny","tracks":24,"config":{"seed":9,"chains":2}}`)); err != nil {
-		t.Errorf("valid request rejected: %v", err)
+	for _, body := range []string{
+		`{"design":"tiny","tracks":24,"config":{"seed":9,"chains":2}}`,
+		`{"design":"tiny","config":{"route_backend":"lagrange","route_iters":12,"route_workers":4}}`,
+		`{"design":"tiny","config":{"route_backend":"negotiated"}}`,
+	} {
+		if _, err := parseJobRequest([]byte(body)); err != nil {
+			t.Errorf("valid request rejected: %v (%s)", err, body)
+		}
 	}
 }
 
