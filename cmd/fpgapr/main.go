@@ -6,6 +6,7 @@
 //	fpgapr -design s1 -flow sim
 //	fpgapr -netlist mydesign.net -flow seq -tracks 24 -seed 7
 //	fpgapr -design cse -stats -pprof prof    # metrics report + prof.cpu/heap.pprof
+//	fpgapr -design s1 -portfolio seeds4      # best-of-N sweep, champion reported
 //
 // The netlist comes from -netlist (a .net or .blif file) or -design (a named
 // synthetic benchmark). The tool prints a layout summary and, when the
@@ -13,15 +14,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/droute"
+	"repro/internal/exper"
 	"repro/internal/metrics"
+	"repro/internal/portfolio"
 )
 
 // options carries every CLI knob; tests drive run directly with a literal.
@@ -48,6 +54,8 @@ type options struct {
 	routeWorkers int
 	routeIters   int
 
+	portfolio string // best-of-N sweep: preset name or inline JSON matrix
+
 	stats  bool   // print the metrics summary after the run
 	pprofP string // profile path prefix; writes <p>.cpu.pprof and <p>.heap.pprof
 }
@@ -73,6 +81,7 @@ func main() {
 	flag.StringVar(&o.routeBackend, "route-backend", "", `detailed-router backend: "ordered" (default), "negotiated" or "lagrange"`)
 	flag.IntVar(&o.routeWorkers, "route-workers", 0, "max router concurrency (0 = GOMAXPROCS; scheduling only, never results)")
 	flag.IntVar(&o.routeIters, "route-iters", 0, "iteration cap for the negotiated/lagrange route backends (0 = backend default)")
+	flag.StringVar(&o.portfolio, "portfolio", "", `simultaneous flow: best-of-N sweep over a matrix preset (paper8, seeds4, seeds8) or an inline JSON matrix like {"seeds":[1,2,3]}`)
 	flag.BoolVar(&o.stats, "stats", false, "print optimizer metrics (phase timers, move/router/STA counters) after the run")
 	flag.StringVar(&o.pprofP, "pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	flag.Parse()
@@ -147,6 +156,13 @@ func run(o options) error {
 		}()
 	}
 
+	if o.portfolio != "" {
+		if o.flow != "sim" {
+			return fmt.Errorf("-portfolio requires -flow sim")
+		}
+		return runPortfolio(o, a, nl, sum)
+	}
+
 	var lay *repro.Layout
 	switch o.flow {
 	case "sim":
@@ -183,7 +199,12 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	return report(lay, o, sum)
+}
 
+// report prints the layout summary, timing verification, optional rendering
+// and metrics — shared by the single-run and portfolio paths.
+func report(lay *repro.Layout, o options, sum *metrics.Summary) error {
 	if err := lay.WriteSummary(os.Stdout); err != nil {
 		return err
 	}
@@ -209,6 +230,106 @@ func run(o options) error {
 		}
 	}
 	return nil
+}
+
+// parsePortfolioMatrix resolves the -portfolio argument: a preset name, or an
+// inline JSON matrix (which may itself name a preset).
+func parsePortfolioMatrix(arg string) (portfolio.Matrix, error) {
+	var m portfolio.Matrix
+	if strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		dec := json.NewDecoder(strings.NewReader(arg))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			return m, fmt.Errorf("-portfolio matrix: %w", err)
+		}
+	} else {
+		m.Preset = arg
+	}
+	if m.Preset != "" {
+		if m.Axes() {
+			return m, fmt.Errorf("-portfolio matrix gives both a preset %q and explicit axes", m.Preset)
+		}
+		resolved, ok := exper.PortfolioMatrix(m.Preset)
+		if !ok {
+			return m, fmt.Errorf("-portfolio: unknown preset %q (have %v, or give an inline JSON matrix)",
+				m.Preset, exper.PortfolioPresets())
+		}
+		m = resolved
+	}
+	return m, nil
+}
+
+// runPortfolio expands the matrix against the base options, runs every
+// member, prints the scoreboard, and reports the champion layout under the
+// deterministic (score, member index) tie-break — the same selection the
+// fpgaprd portfolio endpoint makes server-side.
+func runPortfolio(o options, a *repro.Arch, nl *repro.Netlist, sum *metrics.Summary) error {
+	matrix, err := parsePortfolioMatrix(o.portfolio)
+	if err != nil {
+		return err
+	}
+	members, err := matrix.Expand()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portfolio: %d members\n", len(members))
+	scored := make([]*portfolio.Score, len(members))
+	layouts := make([]*repro.Layout, len(members))
+	for i := range members {
+		m := &members[i]
+		cfg := repro.SimConfig{
+			Seed:          o.seed,
+			MovesPerCell:  o.effort,
+			MaxTemps:      o.maxTemps,
+			DisableTiming: o.wirability,
+			Chains:        o.chains,
+			Workers:       o.workers,
+			CritWeight:    o.critWeight,
+			CritBias:      o.critBias,
+			CritDamping:   o.critDamping,
+			RouteBackend:  droute.Backend(o.routeBackend),
+			RouteIters:    o.routeIters,
+			RouteWorkers:  o.routeWorkers,
+			Metrics:       collectorOrNil(sum),
+		}
+		if m.Seed != 0 {
+			cfg.Seed = m.Seed
+		}
+		if m.Effort.MovesPerCell != 0 {
+			cfg.MovesPerCell = m.Effort.MovesPerCell
+		}
+		if m.Effort.MaxTemps != 0 {
+			cfg.MaxTemps = m.Effort.MaxTemps
+		}
+		if m.Effort.Chains != 0 {
+			cfg.Chains = m.Effort.Chains
+		}
+		if m.Backend != "" {
+			cfg.RouteBackend = droute.Backend(m.Backend)
+		}
+		start := time.Now()
+		lay, err := repro.Simultaneous(a, nl, cfg)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Printf("  member %2d  %-34s  error: %v\n", i, m.Desc(), err)
+			continue
+		}
+		sc := portfolio.Score{
+			RouteFailed: !lay.FullyRouted,
+			Unrouted:    lay.Unrouted,
+			WCDPs:       lay.WCD,
+			Cost:        lay.Sim.FinalCost,
+		}
+		scored[i], layouts[i] = &sc, lay
+		fmt.Printf("  member %2d  %-34s  unrouted %3d  wcd %8.1f ps  cost %10.1f  wall %s\n",
+			i, m.Desc(), sc.Unrouted, sc.WCDPs, sc.Cost, wall.Round(time.Millisecond))
+	}
+	champ := portfolio.Champion(scored)
+	if champ < 0 {
+		return fmt.Errorf("portfolio: no member produced a layout")
+	}
+	fmt.Printf("champion: member %d (%s)\n\n", champ, members[champ].Desc())
+	return report(layouts[champ], o, sum)
 }
 
 // collectorOrNil keeps the optimizer's collector nil (fully disabled) when

@@ -25,6 +25,14 @@
 //	curl localhost:8080/v1/jobs/j1/events        # SSE progress
 //	curl localhost:8080/v1/jobs/j1/layout        # finished layout
 //	curl -X DELETE localhost:8080/v1/jobs/j1     # cancel
+//
+// Sweeps: POST /v1/batches runs many netlists as one group, and POST
+// /v1/portfolios expands one netlist across a (seed × effort × backend)
+// matrix, scores every member, and serves the champion layout:
+//
+//	curl -d '{"design":"s1","matrix":{"preset":"seeds4"}}' localhost:8080/v1/portfolios
+//	curl localhost:8080/v1/portfolios/p1            # live scoreboard + champion
+//	curl localhost:8080/v1/portfolios/p1/layout     # champion layout, once final
 package main
 
 import (
@@ -45,11 +53,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "in-process optimizer runs (0 = pure coordinator, fleet workers only)")
-		queue   = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
-		cache   = flag.Int("cache", 128, "deterministic result cache entries")
-		maxJobs = flag.Int("max-jobs", 512, "retained job records (oldest terminal evicted)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "in-process optimizer runs (0 = pure coordinator, fleet workers only)")
+		queue     = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
+		cache     = flag.Int("cache", 128, "deterministic result cache entries")
+		maxJobs   = flag.Int("max-jobs", 512, "retained job records (oldest terminal evicted)")
+		maxGroups = flag.Int("max-groups", 64, "retained batch/portfolio records (oldest terminal evicted)")
 
 		dataDir = flag.String("data-dir", "",
 			"durable state directory: job journal + disk layout cache (empty = in-memory only)")
@@ -75,6 +84,7 @@ func main() {
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		MaxJobs:      *maxJobs,
+		MaxGroups:    *maxGroups,
 		RatePerSec:   *ratePerSec,
 		RateBurst:    *rateBurst,
 		MaxInflight:  *maxInflight,

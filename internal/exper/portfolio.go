@@ -1,0 +1,33 @@
+package exper
+
+import "repro/internal/portfolio"
+
+// PortfolioMatrix resolves a named server-side portfolio matrix. Presets are
+// concrete matrices — the daemon and the CLI expand them identically, so a
+// preset sweep is reproducible on either side.
+func PortfolioMatrix(name string) (portfolio.Matrix, bool) {
+	switch name {
+	case "seeds4":
+		// Pure seed diversity at the submitted effort.
+		return portfolio.Matrix{Seeds: []int64{1, 2, 3, 4}}, true
+	case "seeds8":
+		return portfolio.Matrix{Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8}}, true
+	case "paper8":
+		// The EXPERIMENTS.md portfolio-of-8: 2 seeds × 2 effort points
+		// (FastEffort- and PaperEffort-class core knobs) × 2 router backends.
+		return portfolio.Matrix{
+			Seeds: []int64{1, 2},
+			Efforts: []portfolio.Effort{
+				{Name: "fast", MovesPerCell: 6, MaxTemps: 80},
+				{Name: "deep", MovesPerCell: 12, MaxTemps: 180},
+			},
+			Backends: []string{"ordered", "lagrange"},
+		}, true
+	}
+	return portfolio.Matrix{}, false
+}
+
+// PortfolioPresets lists the preset names PortfolioMatrix resolves.
+func PortfolioPresets() []string {
+	return []string{"paper8", "seeds4", "seeds8"}
+}

@@ -90,6 +90,29 @@ func (s *Scheduler[T]) TryEnqueue(v T, pri Priority, client string) bool {
 	return true
 }
 
+// TryEnqueueAll atomically adds a group of items at the tail of their
+// (class, client) queues, pris[i] being item i's class: either every item is
+// admitted, or — if the batch would exceed capacity or the scheduler is
+// closed — none is. This is the batch/portfolio admission path;
+// all-or-nothing under one lock means a concurrent submitter can never
+// interleave into the middle of a group and strand half of it past the
+// capacity check.
+func (s *Scheduler[T]) TryEnqueueAll(vs []T, pris []Priority, client string) bool {
+	if len(vs) != len(pris) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || (s.cfg.Capacity > 0 && s.size+len(vs) > s.cfg.Capacity) {
+		return false
+	}
+	now := s.cfg.Clock()
+	for i, v := range vs {
+		s.pushLocked(pris[i], entry[T]{v: v, client: client, base: pris[i], enqueued: now}, false)
+	}
+	return true
+}
+
 // EnqueueFront re-admits an item at the head of its (class, client) queue,
 // keeping its original enqueue time so aging credit is preserved. This is
 // the lease-expiry path: the item was already dequeued once, so it goes back
@@ -286,6 +309,10 @@ func (s *Scheduler[T]) Close() {
 	s.closed = true
 	close(s.wake)
 }
+
+// AgingStep reports the configured promotion quantum (after defaulting);
+// <= 0 means aging is disabled.
+func (s *Scheduler[T]) AgingStep() time.Duration { return s.cfg.AgingStep }
 
 // Len reports the number of queued items.
 func (s *Scheduler[T]) Len() int {

@@ -259,3 +259,57 @@ func TestSchedulerDepths(t *testing.T) {
 		t.Fatalf("ByClient = %v", d.ByClient)
 	}
 }
+
+// TestSchedulerTryEnqueueAll pins the group admission contract: a batch
+// lands whole (per-item classes respected, FIFO within a class) or not at
+// all — a batch that would exceed capacity leaves the queue untouched, and
+// mismatched inputs or a closed scheduler admit nothing.
+func TestSchedulerTryEnqueueAll(t *testing.T) {
+	s := NewScheduler[string](SchedulerConfig{Capacity: 4, Clock: newTestClock().Now})
+	if !s.TryEnqueueAll([]string{"a", "b", "c"},
+		[]Priority{PriorityNormal, PriorityHigh, PriorityNormal}, "cli") {
+		t.Fatal("in-capacity batch rejected")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after batch, want 3", s.Len())
+	}
+
+	// 2 more items would exceed capacity 4: nothing may land.
+	if s.TryEnqueueAll([]string{"d", "e"}, []Priority{PriorityLow, PriorityLow}, "cli") {
+		t.Fatal("over-capacity batch accepted")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after rejected batch, want 3 (partial admission)", s.Len())
+	}
+
+	// Mismatched classes are a caller bug, refused outright.
+	if s.TryEnqueueAll([]string{"d", "e"}, []Priority{PriorityLow}, "cli") {
+		t.Fatal("mismatched vs/pris accepted")
+	}
+
+	// A batch that exactly fills the queue is fine, and per-item classes hold:
+	// the high member drains before the normals, which keep submission order.
+	if !s.TryEnqueueAll([]string{"d"}, []Priority{PriorityHigh, PriorityHigh}[:1], "cli") {
+		t.Fatal("exact-fit batch rejected")
+	}
+	wantOrder(t, drain(t, s, 4), []string{"b", "d", "a", "c"})
+
+	s.Close()
+	if s.TryEnqueueAll([]string{"z"}, []Priority{PriorityNormal}, "cli") {
+		t.Fatal("batch accepted after Close")
+	}
+}
+
+// TestSchedulerAgingStepAccessor: the accessor reports the defaulted quantum
+// and the disabled state, matching what /statsz publishes.
+func TestSchedulerAgingStepAccessor(t *testing.T) {
+	if got := NewScheduler[string](SchedulerConfig{}).AgingStep(); got != DefaultAgingStep {
+		t.Errorf("default AgingStep = %v, want %v", got, DefaultAgingStep)
+	}
+	if got := NewScheduler[string](SchedulerConfig{AgingStep: 5 * time.Second}).AgingStep(); got != 5*time.Second {
+		t.Errorf("AgingStep = %v, want 5s", got)
+	}
+	if got := NewScheduler[string](SchedulerConfig{AgingStep: -1}).AgingStep(); got > 0 {
+		t.Errorf("disabled AgingStep = %v, want non-positive", got)
+	}
+}

@@ -12,14 +12,25 @@ import (
 )
 
 // Event is one element of a job's progress stream. Type is one of "state",
-// "phase", "temp" or "chain"; exactly one payload field is set.
+// "phase", "temp" or "chain" — plus, on group streams, "member" (one member's
+// state transition) and "champion" (the portfolio's final selection); exactly
+// one payload field is set.
 type Event struct {
-	Seq   int                  `json:"seq"`
-	Type  string               `json:"type"`
-	State JobState             `json:"state,omitempty"`
-	Phase *PhaseEvent          `json:"phase,omitempty"`
-	Temp  *metrics.TempRecord  `json:"temp,omitempty"`
-	Chain *metrics.ChainRecord `json:"chain,omitempty"`
+	Seq    int                  `json:"seq"`
+	Type   string               `json:"type"`
+	State  JobState             `json:"state,omitempty"`
+	Phase  *PhaseEvent          `json:"phase,omitempty"`
+	Temp   *metrics.TempRecord  `json:"temp,omitempty"`
+	Chain  *metrics.ChainRecord `json:"chain,omitempty"`
+	Member *MemberEvent         `json:"member,omitempty"`
+}
+
+// MemberEvent reports one group member on an aggregated batch/portfolio
+// stream.
+type MemberEvent struct {
+	Index int      `json:"index"`
+	Job   string   `json:"job"`
+	State JobState `json:"state"`
 }
 
 // PhaseEvent reports one finished flow phase.

@@ -58,3 +58,72 @@ func FuzzJobRequest(f *testing.F) {
 		}
 	})
 }
+
+// checkMemberSpecs asserts the invariants every accepted group body must
+// satisfy: deterministic reparse (identical member count, order, cache keys
+// and descriptions), the member cap, and complete specs.
+func checkMemberSpecs(t *testing.T, data []byte, parse func([]byte) ([]memberSpec, error)) {
+	t.Helper()
+	specs, err := parse(data)
+	if err != nil {
+		return
+	}
+	again, err := parse(data)
+	if err != nil {
+		t.Fatalf("accepted once, rejected on reparse: %v", err)
+	}
+	if len(specs) == 0 || len(specs) > maxBatchJobs {
+		t.Fatalf("accepted %d members (want 1..%d)", len(specs), maxBatchJobs)
+	}
+	if len(again) != len(specs) {
+		t.Fatalf("non-deterministic expansion: %d vs %d members", len(specs), len(again))
+	}
+	for i := range specs {
+		if specs[i].spec == nil || specs[i].spec.key == "" || specs[i].spec.nl == nil {
+			t.Fatalf("member %d spec incomplete", i)
+		}
+		if again[i].spec.key != specs[i].spec.key || again[i].desc != specs[i].desc {
+			t.Fatalf("member %d not deterministic: (%s,%q) vs (%s,%q)",
+				i, specs[i].spec.key, specs[i].desc, again[i].spec.key, again[i].desc)
+		}
+	}
+}
+
+// FuzzBatchRequest hammers the batch decoder: arbitrary bytes never panic,
+// unknown fields and trailing data are rejected, and an accepted batch
+// expands deterministically.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"jobs":[{"design":"tiny"}]}`))
+	f.Add([]byte(`{"jobs":[{"design":"tiny","config":{"seed":1}},{"design":"s1","priority":"high"}]}`))
+	f.Add([]byte(`{"jobs":[{"design":"tiny"},{"design":"tiny"}]}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"jobs":[{"design":"tiny"}],"extra":1}`))
+	f.Add([]byte(`{"jobs":[{"design":"tiny"}]} trailing`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkMemberSpecs(t, data, parseBatchRequest)
+	})
+}
+
+// FuzzPortfolioSpec hammers the portfolio decoder and matrix expander:
+// arbitrary bytes never panic, preset/axis conflicts and oversized or
+// malformed matrices are rejected, and an accepted portfolio expands to the
+// same ordered members with the same cache keys on every parse.
+func FuzzPortfolioSpec(f *testing.F) {
+	f.Add([]byte(`{"design":"tiny","matrix":{"seeds":[1,2,3]}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"preset":"seeds4"}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"preset":"paper8"}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"preset":"nope"}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"preset":"seeds4","seeds":[1]}}`))
+	f.Add([]byte(`{"design":"s1","config":{"seed":7},"matrix":{"seeds":[1,2],"efforts":[{"name":"fast","moves_per_cell":6,"max_temps":80}],"backends":["ordered","lagrange"]}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"backends":["warp"]}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{"seeds":[-1]}}`))
+	f.Add([]byte(`{"design":"tiny","matrix":{}}`))
+	f.Add([]byte(`{"matrix":{"seeds":[1]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkMemberSpecs(t, data, parsePortfolioRequest)
+	})
+}

@@ -55,6 +55,9 @@ type Config struct {
 	// MaxJobs caps retained job records; the oldest terminal jobs are evicted
 	// first (default 512).
 	MaxJobs int
+	// MaxGroups caps retained batch/portfolio records, evicted like jobs
+	// (default 64).
+	MaxGroups int
 	// MaxBodyBytes caps the request body (default 4 MiB).
 	MaxBodyBytes int64
 
@@ -102,6 +105,9 @@ func (c *Config) setDefaults() {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 512
 	}
+	if c.MaxGroups <= 0 {
+		c.MaxGroups = 64
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
@@ -126,10 +132,14 @@ type Server struct {
 	registry *fleet.Registry
 	leases   *fleet.LeaseManager
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	jobOrder []string // insertion order, for retention eviction
-	nextID   int64
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	jobOrder   []string // insertion order, for retention eviction
+	nextID     int64
+	groups     map[string]*group
+	groupOrder []string
+	nextBatch  int64
+	nextPort   int64
 
 	// Counters (atomic; reported by /statsz).
 	submitted   int64
@@ -140,6 +150,8 @@ type Server struct {
 	walErrors   int64
 	reenqueues  int64
 	remoteDone  int64
+	groupsMade  int64
+	dedupHits   int64
 }
 
 // New builds a server and starts its worker pool. If cfg.Store is set, the
@@ -163,6 +175,7 @@ func New(cfg Config) *Server {
 		registry: fleet.NewRegistry(nil),
 		leases:   fleet.NewLeaseManager(cfg.LeaseTTL, nil),
 		jobs:     make(map[string]*Job),
+		groups:   make(map[string]*group),
 	}
 	if cfg.RatePerSec > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.RateBurst)
@@ -172,6 +185,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/layout", s.handleLayout)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleGroupStatus(groupBatch))
+	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.handleGroupCancel(groupBatch))
+	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleGroupEvents(groupBatch))
+	s.mux.HandleFunc("POST /v1/portfolios", s.handlePortfolioSubmit)
+	s.mux.HandleFunc("GET /v1/portfolios/{id}", s.handleGroupStatus(groupPortfolio))
+	s.mux.HandleFunc("DELETE /v1/portfolios/{id}", s.handleGroupCancel(groupPortfolio))
+	s.mux.HandleFunc("GET /v1/portfolios/{id}/events", s.handleGroupEvents(groupPortfolio))
+	s.mux.HandleFunc("GET /v1/portfolios/{id}/layout", s.handlePortfolioLayout)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /v1/fleet/workers", s.handleFleetRegister)
@@ -221,6 +243,23 @@ func (s *Server) recover() {
 		s.bumpJobID(p.Job)
 		enqueue = append(enqueue, j)
 		keep = append(keep, p)
+	}
+	// Groups rebind after the member jobs exist: a member resolves to its
+	// re-instated job, or to its surviving result blob, or is reported
+	// unrecoverable — the scoreboard survives either way.
+	for _, gr := range rec.Groups {
+		var jg journalGroup
+		if err := json.Unmarshal(gr.Data, &jg); err != nil {
+			continue
+		}
+		g := s.rebuildGroup(gr.Job, jg)
+		if g == nil {
+			continue
+		}
+		s.registerGroup(g)
+		s.bumpGroupID(gr.Job)
+		s.startGroupForwarders(g)
+		keep = append(keep, gr)
 	}
 	// Fold the replayed history to one record per surviving job; this is
 	// what bounds journal growth across restarts.
@@ -457,6 +496,12 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.serveLayout(w, j)
+}
+
+// serveLayout writes a done job's layout bytes (shared with the portfolio
+// champion endpoint).
+func (s *Server) serveLayout(w http.ResponseWriter, j *Job) {
 	text, ok := j.layoutBytes()
 	if !ok {
 		httpError(w, http.StatusConflict, "job %s is %s, no layout available", j.ID, j.State())
@@ -503,6 +548,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.streamHub(w, r, j.hub)
+}
+
+// streamHub serves one event hub as an SSE stream: full history replayed,
+// then live events until the hub seals (shared by job and group streams).
+func (s *Server) streamHub(w http.ResponseWriter, r *http.Request, hub *eventHub) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported by connection")
@@ -516,7 +567,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer heartbeat.Stop()
 	cursor := 0
 	for {
-		evs, sealed, wake := j.hub.next(cursor)
+		evs, sealed, wake := hub.next(cursor)
 		for i := range evs {
 			if err := writeSSE(w, &evs[i]); err != nil {
 				return
@@ -577,6 +628,8 @@ type Stats struct {
 	Runs        int64            `json:"optimizer_runs"`
 	Cache       CacheStats       `json:"cache"`
 	Fleet       FleetStats       `json:"fleet"`
+	Portfolio   PortfolioStats   `json:"portfolio"`
+	Scheduler   SchedulerStats   `json:"scheduler"`
 	Store       *store.Stats     `json:"store,omitempty"` // nil without -data-dir
 	WALErrors   int64            `json:"wal_errors,omitempty"`
 	Goroutines  int              `json:"goroutines"`
@@ -598,6 +651,8 @@ func (s *Server) StatsSnapshot() Stats {
 		Runs:        atomic.LoadInt64(&s.runs),
 		Cache:       s.cache.stats(),
 		Fleet:       s.fleetStats(),
+		Portfolio:   s.portfolioStats(),
+		Scheduler:   s.schedulerStats(),
 		WALErrors:   atomic.LoadInt64(&s.walErrors),
 		Goroutines:  runtime.NumGoroutine(),
 	}

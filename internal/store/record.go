@@ -41,10 +41,16 @@ const (
 	// interrupt — interrupted jobs keep their submitted record so they run
 	// again on restart).
 	KindCanceled Kind = 5
+	// KindGroup journals a batch or portfolio group: Job is the group ID
+	// ("b%d"/"p%d", disjoint from the job "j%d" namespace) and Data maps the
+	// group to its member job IDs (the server's journalGroup JSON). Group
+	// records carry no lifecycle of their own — a group's state is derived
+	// from its member jobs' records at recovery.
+	KindGroup Kind = 6
 )
 
 // Terminal reports whether the kind ends a job's lifecycle.
-func (k Kind) Terminal() bool { return k >= KindDone }
+func (k Kind) Terminal() bool { return k >= KindDone && k <= KindCanceled }
 
 func (k Kind) String() string {
 	switch k {
@@ -58,6 +64,8 @@ func (k Kind) String() string {
 		return "failed"
 	case KindCanceled:
 		return "canceled"
+	case KindGroup:
+		return "group"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -92,7 +100,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // validate checks the record against the codec bounds.
 func (r *Record) validate() error {
-	if r.Kind < KindSubmitted || r.Kind > KindCanceled {
+	if r.Kind < KindSubmitted || r.Kind > KindGroup {
 		return fmt.Errorf("store: invalid record kind %d", r.Kind)
 	}
 	if r.Job == "" || len(r.Job) > maxJobLen {

@@ -24,12 +24,15 @@ type Store struct {
 
 // Recovery is the reduction of the replayed journal to the jobs that still
 // matter: Pending holds the original submitted record of every job with no
-// terminal record (in submission order — these are re-enqueued), and Done
+// terminal record (in submission order — these are re-enqueued), Done
 // holds the done record of every successfully finished job (these are
-// re-advertised; their layouts live in the blob store).
+// re-advertised; their layouts live in the blob store), and Groups holds
+// every batch/portfolio group record in journal order (the server rebuilds
+// group scoreboards from these after the member jobs are re-instated).
 type Recovery struct {
 	Pending []Record
 	Done    []Record
+	Groups  []Record
 	WAL     RecoverStats
 }
 
@@ -90,6 +93,11 @@ func reduceRecords(recs []Record) *Recovery {
 		}
 	}
 	rec := &Recovery{}
+	for i := range recs {
+		if recs[i].Kind == KindGroup {
+			rec.Groups = append(rec.Groups, recs[i])
+		}
+	}
 	for _, job := range order {
 		st := byJob[job]
 		switch {
